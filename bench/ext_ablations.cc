@@ -1,0 +1,187 @@
+/**
+ * @file
+ * EXTENSION: ablations of the design choices DESIGN.md Section 5 calls
+ * out, beyond the ones embedded in the figure benches.
+ *
+ *  1. Cache write policy: the paper's write-through/no-allocate versus
+ *     write-back/write-allocate on single kernels (Section 4.3/4.4
+ *     motivates write-through with repartitioning; this shows the
+ *     standalone performance/traffic differences too).
+ *  2. RF hierarchy: MRF access reduction and its effect on the unified
+ *     design (the paper's "key enabler", Sections 2.1 and 6.1).
+ *  3. Two-level scheduler active set size (prior work used 8).
+ *  4. Thread-count autotuning versus the Section 4.5 maximum-threads
+ *     rule (the paper notes some applications prefer fewer threads).
+ *  5. Power gating unneeded capacity (the conclusion's future-work
+ *     idea: "disabling unneeded memory").
+ *
+ * Flags: --scale=<f> (default 0.35)
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "kernels/registry.hh"
+#include "sim/experiments.hh"
+
+using namespace unimem;
+
+namespace {
+
+void
+writePolicyAblation(double scale)
+{
+    std::cout << "--- 1. cache write policy (unified 384KB) ---\n";
+    Table t({"workload", "WT cycles", "WB cycles", "WB/WT perf",
+             "WT dram", "WB dram", "WB dirty lines at end"});
+    for (const char* name : {"vectoradd", "srad", "bfs", "lps", "nn"}) {
+        RunSpec wt;
+        wt.design = DesignKind::Unified;
+        RunSpec wb = wt;
+        wb.cachePolicy = WritePolicy::WriteBack;
+        SimResult rt = simulateBenchmark(name, scale, wt);
+        SimResult rb = simulateBenchmark(name, scale, wb);
+        t.addRow({name, std::to_string(rt.cycles()),
+                  std::to_string(rb.cycles()),
+                  Table::num(static_cast<double>(rt.cycles()) /
+                                 static_cast<double>(rb.cycles()),
+                             3),
+                  std::to_string(rt.dramSectors()),
+                  std::to_string(rb.dramSectors()),
+                  std::to_string(rb.sm.dirtyLinesAtEnd)});
+    }
+    t.print(std::cout);
+    std::cout << "(write-back can reduce DRAM writes for streaming "
+                 "stores but leaves dirty state that repartitioning "
+                 "must drain - see ext_multi_kernel)\n\n";
+}
+
+void
+rfHierarchyAblation(double scale)
+{
+    std::cout << "--- 2. register file hierarchy (unified 384KB) ---\n";
+    Table t({"workload", "MRF reduction", "perf with/without",
+             "conflict cycles with/without"});
+    for (const char* name : {"dgemm", "pcr", "aes", "needle"}) {
+        RunSpec with;
+        with.design = DesignKind::Unified;
+        RunSpec without = with;
+        without.rfHierarchy = false;
+        SimResult rw = simulateBenchmark(name, scale, with);
+        SimResult rwo = simulateBenchmark(name, scale, without);
+        t.addRow({name, Table::num(rw.sm.rf.reduction() * 100.0, 1) + "%",
+                  Table::num(static_cast<double>(rwo.cycles()) /
+                                 static_cast<double>(rw.cycles()),
+                             3),
+                  std::to_string(rw.sm.conflictPenaltyCycles) + " / " +
+                      std::to_string(rwo.sm.conflictPenaltyCycles)});
+    }
+    t.print(std::cout);
+    std::cout << "(prior work [9] reports ~60% MRF access reduction)\n\n";
+}
+
+void
+activeSetAblation(double scale)
+{
+    std::cout << "--- 3. two-level scheduler active set size ---\n";
+    Table t({"workload", "4", "8 (paper)", "16", "32 (flat)"});
+    for (const char* name : {"bfs", "dgemm", "vectoradd"}) {
+        RunSpec ref;
+        ref.activeSetSize = 8;
+        double base = static_cast<double>(
+            simulateBenchmark(name, scale, ref).cycles());
+        std::vector<std::string> row{name};
+        for (u32 size : {4u, 8u, 16u, 32u}) {
+            RunSpec spec;
+            spec.activeSetSize = size;
+            SimResult r = simulateBenchmark(name, scale, spec);
+            row.push_back(Table::num(
+                base / static_cast<double>(r.cycles()), 3));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "(normalized to the 8-warp active set; larger sets "
+                 "schedule more warps but let fewer values live in the "
+                 "ORF/LRF in a real machine)\n\n";
+}
+
+void
+autotuneAblation(double scale)
+{
+    std::cout << "--- 4. Section 4.5 max-threads vs autotuned thread "
+                 "count (unified 384KB) ---\n";
+    Table t({"workload", "max threads", "autotuned threads",
+             "autotune gain"});
+    for (const std::string& name : benefitBenchmarkNames()) {
+        SimResult maxed = runUnified(name, scale, 384_KB);
+        SimResult tuned = runUnifiedAutotuned(name, scale, 384_KB);
+        t.addRow({name, std::to_string(maxed.alloc.launch.threads),
+                  std::to_string(tuned.alloc.launch.threads),
+                  Table::num(static_cast<double>(maxed.cycles()) /
+                                 static_cast<double>(tuned.cycles()),
+                             3)});
+    }
+    t.print(std::cout);
+    std::cout << "(the paper notes some applications run best below "
+                 "maximum occupancy and suggests autotuning)\n\n";
+}
+
+void
+powerGatingAblation(double scale)
+{
+    std::cout << "--- 5. power gating unneeded capacity (conclusion's "
+                 "future work) ---\n";
+    Table t({"workload", "384KB perf", "smallest cap within 2%",
+             "gated energy ratio"});
+    for (const char* name : {"vectoradd", "aes", "sto", "hotspot",
+                             "dct8x8"}) {
+        SimResult base = runBaseline(name, scale);
+        SimResult full = runUnified(name, scale, 384_KB);
+        // Find the smallest capacity whose runtime is within 2%.
+        u64 best_cap = 384_KB;
+        SimResult best = full;
+        for (u64 cap = 352_KB;; cap -= 32_KB) {
+            auto k = createBenchmark(name, scale);
+            if (!allocateUnified(k->params(), cap).launch.feasible)
+                break;
+            SimResult r = runUnified(name, scale, cap);
+            if (static_cast<double>(r.cycles()) >
+                static_cast<double>(full.cycles()) * 1.02)
+                break;
+            best_cap = cap;
+            best = r;
+            if (cap == 32_KB)
+                break;
+        }
+        double e_full = energyOf(full, base);
+        double e_gated = energyOf(best, base);
+        t.addRow({name,
+                  Table::num(static_cast<double>(base.cycles()) /
+                                 static_cast<double>(full.cycles()),
+                             3),
+                  std::to_string(best_cap / 1024) + " KB",
+                  Table::num(e_gated / e_full, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "(disabling SRAM a workload cannot use saves leakage "
+                 "at no performance cost)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    double scale = args.getDouble("scale", 0.35);
+
+    std::cout << "=== EXTENSION: design-choice ablations ===\n\n";
+    writePolicyAblation(scale);
+    rfHierarchyAblation(scale);
+    activeSetAblation(scale);
+    autotuneAblation(scale);
+    powerGatingAblation(scale);
+    return 0;
+}

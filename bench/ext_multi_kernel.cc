@@ -1,0 +1,96 @@
+/**
+ * @file
+ * EXTENSION (paper Section 4.4): per-kernel repartitioning for
+ * multi-kernel applications.
+ *
+ * The paper argues that reconfiguring the unified memory before each
+ * kernel launch is essentially free because the write-through cache has
+ * no dirty state. This harness quantifies that claim: three realistic
+ * kernel sequences run under (a) the partitioned baseline, (b) a single
+ * static unified split sized for the whole application's worst-case
+ * demands, and (c) Section 4.5 repartitioning before every kernel -
+ * with both the paper's write-through cache and the write-back
+ * alternative whose dirty lines must drain at every repartition.
+ *
+ * Flags: --scale=<f> (default 0.35)
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "sim/multi_kernel.hh"
+
+using namespace unimem;
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    double s = args.getDouble("scale", 0.35);
+
+    struct App
+    {
+        const char* name;
+        std::vector<KernelStage> stages;
+    };
+    const App apps[] = {
+        {"image-pipeline",
+         {{"srad", s}, {"hotspot", s}, {"recursivegaussian", s}}},
+        {"graph-analytics", {{"bfs", s}, {"gpu-mummer", s}, {"nn", s}}},
+        {"linear-algebra", {{"dgemm", s}, {"sgemv", s}, {"pcr", s}}},
+        {"mixed-demands", {{"needle", s}, {"bfs", s}, {"dgemm", s}}},
+    };
+
+    std::cout << "=== EXTENSION: multi-kernel applications and "
+                 "per-kernel repartitioning (Section 4.4) ===\n\n";
+
+    for (const App& app : apps) {
+        std::cout << "--- " << app.name << " (";
+        for (size_t i = 0; i < app.stages.size(); ++i)
+            std::cout << (i ? " -> " : "") << app.stages[i].benchmark;
+        std::cout << ") ---\n";
+
+        SequenceResult base = runSequence(
+            app.stages, ReconfigPolicy::PartitionedBaseline);
+        SequenceResult stat =
+            runSequence(app.stages, ReconfigPolicy::UnifiedStatic);
+        SequenceResult per =
+            runSequence(app.stages, ReconfigPolicy::UnifiedPerKernel);
+        SequenceResult per_wb = runSequence(
+            app.stages, ReconfigPolicy::UnifiedPerKernel, 384_KB,
+            WritePolicy::WriteBack);
+
+        Table t({"policy", "total cycles", "speedup", "reconfigs",
+                 "drain cycles"});
+        auto row = [&](const char* label, const SequenceResult& r) {
+            Cycle drain = 0;
+            for (const StageResult& st : r.stages)
+                drain += st.reconfigCycles;
+            t.addRow({label, std::to_string(r.totalCycles),
+                      Table::num(static_cast<double>(base.totalCycles) /
+                                     static_cast<double>(r.totalCycles),
+                                 3),
+                      std::to_string(r.reconfigs),
+                      std::to_string(drain)});
+        };
+        row("partitioned baseline", base);
+        row("unified, static split", stat);
+        row("unified, per-kernel (write-through)", per);
+        row("unified, per-kernel (write-back)", per_wb);
+        t.print(std::cout);
+
+        std::cout << "per-kernel splits chosen:";
+        for (const StageResult& st : per.stages)
+            std::cout << "  [" << st.benchmark << ": "
+                      << st.partition.str() << "]";
+        std::cout << "\n\n";
+    }
+
+    std::cout << "Expected shape: per-kernel repartitioning beats the "
+                 "static compromise whenever stages want different "
+                 "splits; the write-through drain cost is zero (the "
+                 "paper's design choice), the write-back drain is "
+                 "nonzero but small.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: the Fermi-like limited-flexibility design
+ * (fixed 256 KB register file; scratchpad/cache pool split 96/32 or
+ * 32/96, best option chosen per application) normalized to the
+ * partitioned baseline, for the benefit applications.
+ *
+ * Paper: 1%-20% gains, below the fully unified design for all but
+ * gpu-mummer.
+ *
+ * Flags: --scale=<f> (default 0.5)
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "kernels/registry.hh"
+#include "sim/experiments.hh"
+
+using namespace unimem;
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    double scale = args.getDouble("scale", 0.5);
+
+    std::cout << "=== Figure 10: Fermi-like limited design (384KB) vs "
+                 "partitioned ===\n"
+              << "(best of 96KB shared + 32KB cache / 32KB shared + 96KB "
+                 "cache; unified shown for comparison)\n\n";
+
+    Table t({"workload", "fermi perf", "fermi energy", "fermi dram",
+             "unified perf", "fermi shared/cache"});
+    for (const std::string& name : benefitBenchmarkNames()) {
+        double s = name == "dgemm" ? std::max(scale, 0.75) : scale;
+
+        SimResult base = runBaseline(name, s);
+        SimResult fermi = runFermiBest(name, s, 384_KB);
+        SimResult uni = runUnified(name, s, 384_KB);
+
+        Comparison cf = compare(fermi, base);
+        Comparison cu = compare(uni, base);
+        t.addRow({name, Table::num(cf.speedup, 3),
+                  Table::num(cf.energyRatio, 3),
+                  Table::num(cf.dramRatio, 3), Table::num(cu.speedup, 3),
+                  std::to_string(fermi.alloc.partition.sharedBytes /
+                                 1024) +
+                      "/" +
+                      std::to_string(fermi.alloc.partition.cacheBytes /
+                                     1024) +
+                      " KB"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nExpected shape (paper): Fermi-like gains 1-20%, "
+                 "generally below the fully unified design.\n";
+    return 0;
+}

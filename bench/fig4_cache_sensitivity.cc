@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: performance as a function of primary cache
+ * capacity (registers sized to eliminate spills, unbounded scratchpad)
+ * for bfs / pcr / gpu-mummer / needle. Lines are thread counts
+ * (256..1024), points are cache capacities (0..512 KB). Normalized to
+ * the 512 KB / 1024-thread point.
+ *
+ * Flags: --scale=<f> (default 0.5)
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace unimem;
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    double scale = args.getDouble("scale", 0.5);
+
+    std::cout << "=== Figure 4: performance vs cache capacity ===\n"
+              << "(no spills, unbounded scratchpad; normalized to 512KB "
+                 "cache @ 1024 threads)\n";
+
+    const u64 cache_points[] = {0_KB, 32_KB, 64_KB, 128_KB, 256_KB,
+                                512_KB};
+
+    for (const char* name : {"bfs", "pcr", "gpu-mummer", "needle"}) {
+        std::cout << "\n--- " << name << " ---\n";
+
+        RunSpec ref;
+        ref.partition = MemoryPartition{256_KB, 1_MB, 512_KB};
+        double ref_cycles = static_cast<double>(
+            simulateBenchmark(name, scale, ref).cycles());
+
+        Table t({"threads", "0", "32K", "64K", "128K", "256K", "512K"});
+        for (u32 limit = 256; limit <= kMaxThreadsPerSm; limit += 256) {
+            std::vector<std::string> row{std::to_string(limit)};
+            for (u64 cache : cache_points) {
+                RunSpec spec = ref;
+                spec.partition.cacheBytes = cache;
+                spec.threadLimit = limit;
+                SimResult r = simulateBenchmark(name, scale, spec);
+                row.push_back(Table::num(
+                    ref_cycles / static_cast<double>(r.cycles()), 3));
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nExpected shape (paper): bfs and pcr gain strongly "
+                 "with cache (pcr has a 256KB->512KB knee); gpu-mummer "
+                 "saturates around its ~72KB working set; needle is "
+                 "nearly flat.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: performance and energy of the 384 KB
+ * unified design normalized to the equal-capacity partitioned baseline
+ * for the 18 applications that do not benefit from unified storage.
+ * The paper's claim: every delta is within ~1%.
+ *
+ * Supports the RF-hierarchy ablation (DESIGN.md Section 5, item 2):
+ *   --no-rf-hierarchy   run both designs without the ORF/LRF
+ * Flags: --scale=<f> (default 0.35)
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "kernels/registry.hh"
+#include "sim/experiments.hh"
+
+using namespace unimem;
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    double scale = args.getDouble("scale", 0.35);
+    bool rf = !args.getBool("no-rf-hierarchy", false);
+
+    std::cout << "=== Figure 7: unified (384KB) vs partitioned, "
+                 "no-benefit applications ===\n"
+              << "(perf > 1 is better, energy < 1 is better; paper: all "
+                 "within ~1%)"
+              << (rf ? "" : "  [ABLATION: RF hierarchy disabled]")
+              << "\n\n";
+
+    Table t({"workload", "norm perf", "norm energy", "perf delta"});
+    double worst_perf = 1.0, worst_energy = 1.0;
+    double sum_perf = 0.0, sum_energy = 0.0;
+    int n = 0;
+
+    for (const std::string& name : noBenefitBenchmarkNames()) {
+        RunSpec pspec;
+        pspec.rfHierarchy = rf;
+        SimResult base = simulateBenchmark(name, scale, pspec);
+
+        RunSpec uspec;
+        uspec.design = DesignKind::Unified;
+        uspec.unifiedCapacity = 384_KB;
+        uspec.rfHierarchy = rf;
+        SimResult uni = simulateBenchmark(name, scale, uspec);
+
+        Comparison c = compare(uni, base);
+        t.addRow({name, Table::num(c.speedup, 3),
+                  Table::num(c.energyRatio, 3),
+                  Table::num((c.speedup - 1.0) * 100.0, 2) + "%"});
+        worst_perf = std::min(worst_perf, c.speedup);
+        worst_energy = std::max(worst_energy, c.energyRatio);
+        sum_perf += c.speedup;
+        sum_energy += c.energyRatio;
+        ++n;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nsummary: mean perf " << Table::num(sum_perf / n, 3)
+              << ", mean energy " << Table::num(sum_energy / n, 3)
+              << ", worst perf " << Table::num(worst_perf, 3)
+              << ", worst energy " << Table::num(worst_energy, 3) << "\n"
+              << "paper: largest perf/energy change < 1% (worst energy "
+                 "+0.9% on nn); mean energy -0.06%\n";
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark) of the simulator itself:
+ * end-to-end simulation throughput for representative kernels and the
+ * hot primitives (coalescer, cache probes, conflict evaluation).
+ */
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "arch/trace_io.hh"
+#include "core/conflict_model.hh"
+#include "kernels/registry.hh"
+#include "mem/cache.hh"
+#include "mem/coalescer.hh"
+#include "sim/simulator.hh"
+#include "sm/chip.hh"
+
+namespace unimem {
+namespace {
+
+void
+BM_SimulateKernel(benchmark::State& state, const char* name,
+                  DesignKind design)
+{
+    u64 instrs = 0;
+    for (auto _ : state) {
+        RunSpec spec;
+        spec.design = design;
+        SimResult r = simulateBenchmark(name, 0.1, spec);
+        instrs += r.sm.warpInstrs;
+        benchmark::DoNotOptimize(r.cycles());
+    }
+    state.counters["warp_instrs_per_s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+
+void
+BM_Coalescer(benchmark::State& state)
+{
+    WarpInstr in = instr::mem(Opcode::LdGlobal, 1, 0);
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        in.addr[lane] = static_cast<Addr>(lane) * state.range(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coalesce(in));
+}
+
+void
+BM_CacheProbe(benchmark::State& state)
+{
+    DataCache cache(static_cast<u64>(state.range(0)));
+    u64 line = 0;
+    for (auto _ : state) {
+        Addr a = (line++ % 4096) * kCacheLineBytes;
+        if (!cache.read(a))
+            cache.fill(a);
+    }
+}
+
+void
+BM_ConflictEvaluate(benchmark::State& state)
+{
+    ConflictModel model(static_cast<DesignKind>(state.range(0)));
+    WarpInstr in = instr::mem(Opcode::LdShared, 1, 0);
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        in.addr[lane] = static_cast<Addr>(lane) * 36;
+    u8 banks[3] = {0, 2};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.evaluate(in, banks, 2));
+}
+
+void
+BM_ChipSimulate(benchmark::State& state)
+{
+    u32 sms = static_cast<u32>(state.range(0));
+    u64 instrs = 0;
+    for (auto _ : state) {
+        auto k = createBenchmark("sgemv", 0.1);
+        ChipConfig cc;
+        cc.numSms = sms;
+        cc.chipDramBytesPerCycle = sms * 8;
+        cc.sm.partition = baselinePartition();
+        cc.sm.launch = occupancyPartitioned(
+            k->params(), cc.sm.partition.rfBytes,
+            cc.sm.partition.sharedBytes);
+        ChipModel chip(cc, *k);
+        instrs += chip.run().warpInstrs();
+    }
+    state.counters["warp_instrs_per_s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+
+void
+BM_TraceRoundTrip(benchmark::State& state)
+{
+    auto k = createBenchmark("sgemv", 0.05);
+    for (auto _ : state) {
+        std::stringstream ss;
+        writeTrace(*k, ss);
+        TraceFileKernel loaded(ss);
+        benchmark::DoNotOptimize(loaded.numWarps());
+    }
+}
+
+BENCHMARK_CAPTURE(BM_SimulateKernel, vectoradd_partitioned, "vectoradd",
+                  DesignKind::Partitioned);
+BENCHMARK_CAPTURE(BM_SimulateKernel, vectoradd_unified, "vectoradd",
+                  DesignKind::Unified);
+BENCHMARK_CAPTURE(BM_SimulateKernel, needle_unified, "needle",
+                  DesignKind::Unified);
+BENCHMARK_CAPTURE(BM_SimulateKernel, dgemm_partitioned, "dgemm",
+                  DesignKind::Partitioned);
+BENCHMARK(BM_Coalescer)->Arg(4)->Arg(16)->Arg(128);
+BENCHMARK(BM_CacheProbe)->Arg(64 << 10)->Arg(384 << 10);
+BENCHMARK(BM_ConflictEvaluate)
+    ->Arg(static_cast<int>(DesignKind::Partitioned))
+    ->Arg(static_cast<int>(DesignKind::Unified));
+BENCHMARK(BM_ChipSimulate)->Arg(4)->Arg(8);
+BENCHMARK(BM_TraceRoundTrip);
+
+} // namespace
+} // namespace unimem
+
+BENCHMARK_MAIN();

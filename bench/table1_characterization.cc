@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces paper Table 1: workload characteristics of all 26
+ * benchmarks — registers per thread without spills, normalized dynamic
+ * instruction counts at 18/24/32/40/64 registers per thread, register
+ * file size for full occupancy, scratchpad bytes per thread, and
+ * normalized DRAM accesses with 0 / 64 KB / 256 KB of primary cache.
+ *
+ * The spill columns are produced by running the spill injector at each
+ * register allocation; the DRAM columns come from full timing runs.
+ *
+ * Flags: --scale=<f> (default 0.35)
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "kernels/registry.hh"
+#include "sim/simulator.hh"
+
+using namespace unimem;
+
+namespace {
+
+/** Measured dynamic-instruction multiplier at an allocation. */
+double
+dynInstrRatio(const std::string& name, double scale, u32 regs)
+{
+    RunSpec spec;
+    // Generous capacities so only the register count varies.
+    spec.partition = MemoryPartition{1_MB, 1_MB, 64_KB};
+    spec.regsOverride = regs;
+    SimResult r = simulateBenchmark(name, scale, spec);
+
+    RunSpec full = spec;
+    full.regsOverride = 64;
+    SimResult f = simulateBenchmark(name, scale, full);
+    return static_cast<double>(r.sm.warpInstrs) /
+           static_cast<double>(f.sm.warpInstrs);
+}
+
+u64
+dramSectors(const std::string& name, double scale, u64 cacheBytes)
+{
+    RunSpec spec;
+    spec.partition = MemoryPartition{256_KB, 1_MB, cacheBytes};
+    return simulateBenchmark(name, scale, spec).dramSectors();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    double scale = args.getDouble("scale", 0.35);
+
+    std::cout << "=== Table 1: workload characteristics ===\n"
+              << "(normalized dynamic instructions at 18/24/32/40/64 "
+                 "regs/thread; normalized DRAM accesses at 0/64KB/256KB "
+                 "cache)\n\n";
+
+    Table t({"workload", "category", "regs", "i18", "i24", "i32", "i40",
+             "i64", "RF KB full occ", "sh B/thr", "d0", "d64K", "d256K"});
+
+    for (const BenchmarkInfo& info : allBenchmarks()) {
+        auto k = createBenchmark(info.name, scale);
+        const KernelParams& kp = k->params();
+
+        std::vector<std::string> row;
+        row.push_back(info.name);
+        row.push_back(categoryName(info.category));
+        row.push_back(std::to_string(kp.regsPerThread));
+        for (u32 regs : {18u, 24u, 32u, 40u, 64u})
+            row.push_back(
+                Table::num(dynInstrRatio(info.name, scale, regs), 2));
+        row.push_back(std::to_string(kMaxThreadsPerSm * kp.regsPerThread *
+                                     kRegBytes / 1024));
+        row.push_back(Table::num(kp.sharedBytesPerThread(), 1));
+
+        double d256 = static_cast<double>(
+            dramSectors(info.name, scale, 256_KB));
+        for (u64 cache : {0_KB, 64_KB, 256_KB})
+            row.push_back(Table::num(
+                static_cast<double>(dramSectors(info.name, scale, cache)) /
+                    d256,
+                2));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper reference (Table 1) for the same columns:\n";
+    Table ref({"workload", "regs", "sh B/thr", "d0", "d64K", "d256K"});
+    for (const BenchmarkInfo& info : allBenchmarks())
+        ref.addRow({info.name, std::to_string(info.paperRegs),
+                    Table::num(info.paperSharedPerThread, 1),
+                    Table::num(info.paperDramNone, 2),
+                    Table::num(info.paperDram64k, 2),
+                    Table::num(info.paperDram256k, 2)});
+    ref.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Table 4: per-16-byte-access SRAM bank energy for the
+ * partitioned design's 8 KB MRF banks and 2 KB shared/cache banks versus
+ * the 384 KB unified design's 12 KB banks.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/partition.hh"
+#include "energy/energy_model.hh"
+
+using namespace unimem;
+
+int
+main()
+{
+    std::cout << "=== Table 4: energy for 16-byte SRAM bank access "
+                 "(32nm) ===\n"
+              << "(paper reference: 8KB 9.8/11.8 pJ, 2KB 3.9/5.1 pJ, "
+                 "12KB 12.1/14.9 pJ)\n\n";
+
+    Table t({"structure", "bank size", "read (pJ)", "write (pJ)"});
+
+    auto row = [&](const char* name, u64 bank) {
+        t.addRow({name,
+                  Table::num(static_cast<double>(bank) / 1024.0, 0) + " KB",
+                  Table::num(bankReadEnergy(bank) * 1e12, 1),
+                  Table::num(bankWriteEnergy(bank) * 1e12, 1)});
+    };
+
+    MemoryPartition base = baselinePartition();
+    row("256KB RF (partitioned)", base.rfBytes / kBanksPerSm);
+    row("64KB shared (partitioned)", base.sharedBytes / kBanksPerSm);
+    row("64KB cache (partitioned)", base.cacheBytes / kBanksPerSm);
+    row("384KB unified", unifiedBankBytes(384_KB));
+    row("256KB unified", unifiedBankBytes(256_KB));
+    row("128KB unified", unifiedBankBytes(128_KB));
+
+    t.print(std::cout);
+
+    std::cout << "\nTag storage: 64KB cache = "
+              << tagStorageBytes(64_KB) << " B, 384KB max unified cache = "
+              << tagStorageBytes(384_KB) << " B (paper: ~1.125KB / "
+              << "~7.125KB)\n";
+    return 0;
+}

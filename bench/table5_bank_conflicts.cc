@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces paper Table 5: breakdown of warp instructions by the
+ * maximum number of accesses any single memory bank receives, for the
+ * partitioned versus unified designs, averaged over the Figure 7
+ * (no-benefit) benchmarks.
+ *
+ * Also reports, as an ablation, total runtime with and without conflict
+ * penalties (DESIGN.md Section 5, item 1).
+ *
+ * Flags: --scale=<f> (default 0.35)
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "kernels/registry.hh"
+#include "mem/bank_conflicts.hh"
+#include "sim/simulator.hh"
+
+using namespace unimem;
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    double scale = args.getDouble("scale", 0.35);
+
+    std::cout << "=== Table 5: warp instructions by max accesses to a "
+                 "single bank ===\n"
+              << "(averaged across the Figure 7 no-benefit benchmarks)\n\n";
+
+    ConflictHistogram part, uni;
+    u64 part_cycles = 0, part_cycles_np = 0;
+    u64 uni_cycles = 0, uni_cycles_np = 0;
+
+    for (const std::string& name : noBenefitBenchmarkNames()) {
+        RunSpec p;
+        SimResult rp = simulateBenchmark(name, scale, p);
+        part.merge(rp.sm.conflictHist);
+        part_cycles += rp.cycles();
+
+        RunSpec u;
+        u.design = DesignKind::Unified;
+        SimResult ru = simulateBenchmark(name, scale, u);
+        uni.merge(ru.sm.conflictHist);
+        uni_cycles += ru.cycles();
+
+        p.conflictPenalties = false;
+        u.conflictPenalties = false;
+        part_cycles_np += simulateBenchmark(name, scale, p).cycles();
+        uni_cycles_np += simulateBenchmark(name, scale, u).cycles();
+    }
+
+    Table t({"design", "<=1", "2", "3", "4", ">4"});
+    auto row = [&](const char* label, const ConflictHistogram& h) {
+        std::vector<std::string> r{label};
+        for (u32 b = 0; b < ConflictHistogram::kNumBuckets; ++b)
+            r.push_back(Table::num(h.fraction(b) * 100.0, 2) + "%");
+        t.addRow(r);
+    };
+    row("partitioned", part);
+    row("unified", uni);
+    t.print(std::cout);
+
+    std::cout << "\nPaper reference: partitioned 97.0/2.7/0.09/0.14/"
+                 "0.03%; unified 96.4/3.4/0.01/0.02/0.21%\n";
+
+    std::cout << "\nAblation: conflict penalties on/off (aggregate "
+                 "cycles)\n"
+              << "  partitioned: " << part_cycles << " / "
+              << part_cycles_np << " (overhead "
+              << Table::num((static_cast<double>(part_cycles) /
+                                 part_cycles_np -
+                             1.0) *
+                                100.0,
+                            2)
+              << "%)\n"
+              << "  unified:     " << uni_cycles << " / " << uni_cycles_np
+              << " (overhead "
+              << Table::num((static_cast<double>(uni_cycles) /
+                                 uni_cycles_np -
+                             1.0) *
+                                100.0,
+                            2)
+              << "%)\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Capacity explorer: for one benchmark, sweep the unified memory
+ * capacity and print how the Section 4.5 allocator splits it, plus the
+ * resulting performance/energy against the partitioned baseline. This is
+ * the "how much on-chip storage should an SM have?" question of paper
+ * Section 6.4.
+ *
+ * Usage:
+ *   capacity_explorer [--benchmark=pcr] [--scale=0.5]
+ *                     [--min-kb=96] [--max-kb=512] [--step-kb=32]
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "kernels/registry.hh"
+#include "sim/experiments.hh"
+
+using namespace unimem;
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    std::string name = args.getString("benchmark", "pcr");
+    double scale = args.getDouble("scale", 0.5);
+    u64 min_kb = static_cast<u64>(args.getInt("min-kb", 96));
+    u64 max_kb = static_cast<u64>(args.getInt("max-kb", 512));
+    u64 step_kb = static_cast<u64>(args.getInt("step-kb", 32));
+
+    if (findBenchmark(name) == nullptr) {
+        std::cerr << "unknown benchmark '" << name << "'\n";
+        return 1;
+    }
+
+    std::cout << "benchmark " << name << ": unified capacity sweep "
+              << min_kb << "KB.." << max_kb << "KB (baseline: partitioned "
+              << "256/64/64)\n\n";
+
+    SimResult base = runBaseline(name, scale);
+
+    Table t({"capacity", "RF KB", "shared KB", "cache KB", "threads",
+             "perf", "energy"});
+    for (u64 kb = min_kb; kb <= max_kb; kb += step_kb) {
+        auto k = createBenchmark(name, scale);
+        AllocationDecision d = allocateUnified(k->params(), kb * 1024);
+        if (!d.launch.feasible) {
+            t.addRow({std::to_string(kb) + " KB", "-", "-", "-",
+                      "does not fit", "-", "-"});
+            continue;
+        }
+        SimResult uni = runUnified(name, scale, kb * 1024);
+        Comparison c = compare(uni, base);
+        t.addRow({std::to_string(kb) + " KB",
+                  std::to_string(d.partition.rfBytes / 1024),
+                  std::to_string(d.partition.sharedBytes / 1024),
+                  std::to_string(d.partition.cacheBytes / 1024),
+                  std::to_string(d.launch.threads),
+                  Table::num(c.speedup, 3), Table::num(c.energyRatio, 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading the table: performance usually saturates "
+                 "once occupancy is maxed and the working set is "
+                 "cached; energy has a sweet spot because extra SRAM "
+                 "capacity leaks (paper Section 6.4).\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-kernel application example (paper Section 4.4): a synthetic
+ * "genomics pipeline" launches needle (alignment), then bfs (graph
+ * assembly walk), then nn (candidate scoring). Each stage wants a
+ * completely different memory split, which is exactly where per-kernel
+ * repartitioning of the unified memory shines.
+ *
+ * Usage:
+ *   multi_kernel_app [--scale=0.35] [--capacity-kb=384] [--write-back]
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "sim/multi_kernel.hh"
+
+using namespace unimem;
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    double scale = args.getDouble("scale", 0.35);
+    u64 capacity =
+        static_cast<u64>(args.getInt("capacity-kb", 384)) * 1024;
+    WritePolicy policy = args.getBool("write-back", false)
+                             ? WritePolicy::WriteBack
+                             : WritePolicy::WriteThrough;
+
+    std::vector<KernelStage> stages = {
+        {"needle", scale}, {"bfs", scale}, {"nn", scale}};
+
+    std::cout << "genomics pipeline: needle -> bfs -> nn ("
+              << capacity / 1024 << "KB unified, "
+              << (policy == WritePolicy::WriteBack ? "write-back"
+                                                   : "write-through")
+              << " cache)\n\n";
+
+    SequenceResult base =
+        runSequence(stages, ReconfigPolicy::PartitionedBaseline,
+                    capacity, policy);
+    SequenceResult stat = runSequence(
+        stages, ReconfigPolicy::UnifiedStatic, capacity, policy);
+    SequenceResult per = runSequence(
+        stages, ReconfigPolicy::UnifiedPerKernel, capacity, policy);
+
+    for (const SequenceResult* seq : {&base, &stat, &per}) {
+        std::cout << "--- " << reconfigPolicyName(seq->policy) << " ---\n";
+        Table t({"stage", "partition", "threads", "cycles",
+                 "reconfig drain"});
+        for (const StageResult& st : seq->stages)
+            t.addRow({st.benchmark, st.partition.str(),
+                      std::to_string(st.threads),
+                      std::to_string(st.cycles),
+                      std::to_string(st.reconfigCycles)});
+        t.print(std::cout);
+        std::cout << "total: " << seq->totalCycles << " cycles (speedup "
+                  << Table::num(static_cast<double>(base.totalCycles) /
+                                    static_cast<double>(seq->totalCycles),
+                                3)
+                  << "x vs baseline)\n\n";
+    }
+
+    std::cout << "Takeaway (Section 4.4): the write-through cache makes "
+                 "repartitioning free, so a unified SM can give needle "
+                 "its scratchpad, bfs its cache, and nn its tiny "
+                 "footprint - in one application.\n";
+    return 0;
+}

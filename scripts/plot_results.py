@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Plot unimem benchmark harness output.
+
+Usage:
+    UNIMEM_TABLE=csv ./build/bench/fig9_benefit > fig9.csv
+    python3 scripts/plot_results.py fig9.csv --x workload --y "norm perf"
+
+The harnesses emit one or more CSV tables (with prose lines between
+them) when UNIMEM_TABLE=csv is set. This script extracts the tables,
+prints them, and renders a bar/line chart per table if matplotlib is
+available.
+"""
+
+import argparse
+import csv
+import io
+import sys
+
+
+def extract_tables(text):
+    """Split mixed harness output into CSV tables.
+
+    A table is a maximal run of lines with a consistent comma count >= 1.
+    """
+    tables = []
+    block = []
+    for line in text.splitlines():
+        if "," in line and (not block or
+                            line.count(",") == block[0].count(",")):
+            block.append(line)
+        else:
+            if len(block) >= 2:
+                tables.append(block)
+            block = [line] if "," in line else []
+    if len(block) >= 2:
+        tables.append(block)
+    return [list(csv.reader(io.StringIO("\n".join(b)))) for b in tables]
+
+
+def numeric(value):
+    try:
+        return float(value.rstrip("%x"))
+    except ValueError:
+        return None
+
+
+def plot_table(rows, x_col, y_cols, out):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; table printed above only")
+        return
+    header, data = rows[0], rows[1:]
+    if x_col not in header:
+        print(f"column '{x_col}' not in {header}")
+        return
+    xi = header.index(x_col)
+    xs = [r[xi] for r in data]
+    fig, ax = plt.subplots(figsize=(max(6, len(xs) * 0.7), 4))
+    for y_col in y_cols:
+        if y_col not in header:
+            continue
+        yi = header.index(y_col)
+        ys = [numeric(r[yi]) for r in data]
+        ax.plot(range(len(xs)), ys, marker="o", label=y_col)
+    ax.set_xticks(range(len(xs)))
+    ax.set_xticklabels(xs, rotation=45, ha="right")
+    ax.set_xlabel(x_col)
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out)
+    print(f"wrote {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("input", help="harness CSV output (or - for stdin)")
+    ap.add_argument("--x", default=None, help="x-axis column")
+    ap.add_argument("--y", action="append", default=[],
+                    help="y column (repeatable; default: all numeric)")
+    ap.add_argument("--out", default="plot.png")
+    args = ap.parse_args()
+
+    text = (sys.stdin.read() if args.input == "-" else
+            open(args.input).read())
+    tables = extract_tables(text)
+    if not tables:
+        sys.exit("no CSV tables found (did you set UNIMEM_TABLE=csv?)")
+
+    for i, rows in enumerate(tables):
+        header, data = rows[0], rows[1:]
+        print(f"table {i}: {len(data)} rows, columns {header}")
+        x = args.x or header[0]
+        ys = args.y or [c for c in header[1:]
+                        if data and numeric(data[0][header.index(c)])
+                        is not None]
+        out = (args.out if len(tables) == 1 else
+               args.out.replace(".png", f"_{i}.png"))
+        plot_table(rows, x, ys, out)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Interface between workload models and the SM simulator: a KernelModel
+ * declares its static launch requirements and produces per-warp trace
+ * generators. This is the substitution point for the paper's Ocelot-based
+ * CUDA tracing (see DESIGN.md Section 2).
+ */
+
+#ifndef UNIMEM_ARCH_KERNEL_MODEL_HH
+#define UNIMEM_ARCH_KERNEL_MODEL_HH
+
+#include <memory>
+
+#include "arch/kernel_params.hh"
+#include "arch/warp_program.hh"
+
+namespace unimem {
+
+/** A synthetic workload: launch parameters plus trace generation. */
+class KernelModel
+{
+  public:
+    virtual ~KernelModel() = default;
+
+    /** Static requirements (registers, scratchpad, CTA geometry, grid). */
+    virtual const KernelParams& params() const = 0;
+
+    /** Trace generator for one warp of one CTA. */
+    virtual std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const = 0;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_ARCH_KERNEL_MODEL_HH

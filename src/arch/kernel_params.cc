@@ -1,0 +1,75 @@
+#include "arch/kernel_params.hh"
+
+#include <algorithm>
+
+#include "arch/gpu_constants.hh"
+#include "common/log.hh"
+
+namespace unimem {
+
+SpillCurve::SpillCurve(std::vector<std::pair<u32, double>> points)
+    : points_(std::move(points))
+{
+    for (size_t i = 0; i < points_.size(); ++i) {
+        if (points_[i].second < 1.0)
+            fatal("SpillCurve: multiplier %f < 1", points_[i].second);
+        if (i > 0) {
+            if (points_[i].first <= points_[i - 1].first)
+                fatal("SpillCurve: register counts not increasing");
+            if (points_[i].second > points_[i - 1].second)
+                fatal("SpillCurve: multiplier increases with registers");
+        }
+    }
+}
+
+double
+SpillCurve::multiplier(u32 regs) const
+{
+    if (points_.empty())
+        return 1.0;
+    if (regs >= points_.back().first)
+        return 1.0;
+    if (regs <= points_.front().first) {
+        if (points_.size() < 2 || points_.front().second <= 1.0)
+            return points_.front().second;
+        // Extrapolate the slope of the first segment below the first point.
+        const auto& [r0, m0] = points_[0];
+        const auto& [r1, m1] = points_[1];
+        double slope = (m0 - m1) / static_cast<double>(r1 - r0);
+        double m = m0 + slope * static_cast<double>(r0 - regs);
+        return std::min(m, kMaxMultiplier);
+    }
+    for (size_t i = 1; i < points_.size(); ++i) {
+        if (regs <= points_[i].first) {
+            const auto& [r0, m0] = points_[i - 1];
+            const auto& [r1, m1] = points_[i];
+            double t = static_cast<double>(regs - r0) /
+                       static_cast<double>(r1 - r0);
+            return m0 + t * (m1 - m0);
+        }
+    }
+    return 1.0;
+}
+
+u32
+KernelParams::warpsPerCta() const
+{
+    return (ctaThreads + kWarpWidth - 1) / kWarpWidth;
+}
+
+void
+KernelParams::validate() const
+{
+    if (ctaThreads == 0 || ctaThreads % kWarpWidth != 0)
+        fatal("kernel %s: ctaThreads %u is not a positive warp multiple",
+              name.c_str(), ctaThreads);
+    if (ctaThreads > kMaxThreadsPerSm)
+        fatal("kernel %s: ctaThreads %u exceeds SM capacity", name.c_str(),
+              ctaThreads);
+    if (regsPerThread == 0)
+        fatal("kernel %s: zero registers per thread", name.c_str());
+    if (gridCtas == 0)
+        fatal("kernel %s: empty grid", name.c_str());
+}
+
+} // namespace unimem

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Static per-kernel resource requirements plus the spill-overhead curve
+ * (paper Table 1, columns 2-9).
+ */
+
+#ifndef UNIMEM_ARCH_KERNEL_PARAMS_HH
+#define UNIMEM_ARCH_KERNEL_PARAMS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace unimem {
+
+/**
+ * Dynamic-instruction inflation as a function of allocated registers per
+ * thread. A multiplier of 1.0 means no spill/fill code; the paper reports
+ * these multipliers at 18/24/32/40/64 registers per thread (Table 1).
+ */
+class SpillCurve
+{
+  public:
+    /** Identity curve: no spills at any register count. */
+    SpillCurve() = default;
+
+    /**
+     * Curve through the given (regs, multiplier) points. Points must be
+     * sorted by register count; multipliers must be >= 1 and
+     * non-increasing in register count.
+     */
+    explicit SpillCurve(std::vector<std::pair<u32, double>> points);
+
+    /**
+     * Dynamic instruction multiplier with @p regs registers per thread.
+     * Linear interpolation between points; linear extrapolation below the
+     * first point (clamped to kMaxMultiplier); 1.0 above the last point.
+     */
+    double multiplier(u32 regs) const;
+
+    bool identity() const { return points_.empty(); }
+
+    static constexpr double kMaxMultiplier = 8.0;
+
+  private:
+    std::vector<std::pair<u32, double>> points_;
+};
+
+/** Static launch parameters of one kernel. */
+struct KernelParams
+{
+    std::string name;
+
+    /** Registers per thread required to eliminate spills. */
+    u32 regsPerThread = 16;
+
+    /** Scratchpad bytes statically allocated per CTA. */
+    u32 sharedBytesPerCta = 0;
+
+    /** Threads per CTA (multiple of kWarpWidth). */
+    u32 ctaThreads = 256;
+
+    /** Total CTAs this SM executes (the SM's 1/32 share of the grid). */
+    u32 gridCtas = 8;
+
+    SpillCurve spillCurve;
+
+    double
+    sharedBytesPerThread() const
+    {
+        return ctaThreads == 0
+                   ? 0.0
+                   : static_cast<double>(sharedBytesPerCta) / ctaThreads;
+    }
+
+    u32 warpsPerCta() const;
+
+    /** Sanity-check invariants; fatal() on violation. */
+    void validate() const;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_ARCH_KERNEL_PARAMS_HH

@@ -1,0 +1,77 @@
+#include "arch/opcode.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+const char*
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IntAlu: return "ialu";
+      case Opcode::FpAlu: return "falu";
+      case Opcode::Sfu: return "sfu";
+      case Opcode::LdGlobal: return "ld.global";
+      case Opcode::StGlobal: return "st.global";
+      case Opcode::LdShared: return "ld.shared";
+      case Opcode::StShared: return "st.shared";
+      case Opcode::LdLocal: return "ld.local";
+      case Opcode::StLocal: return "st.local";
+      case Opcode::Tex: return "tex";
+      case Opcode::Bar: return "bar";
+    }
+    panic("opcodeName: bad opcode %d", static_cast<int>(op));
+}
+
+bool
+isMemOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+      case Opcode::LdShared:
+      case Opcode::StShared:
+      case Opcode::LdLocal:
+      case Opcode::StLocal:
+      case Opcode::Tex:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::LdShared ||
+           op == Opcode::LdLocal || op == Opcode::Tex;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::StGlobal || op == Opcode::StShared ||
+           op == Opcode::StLocal;
+}
+
+bool
+isGlobalSpace(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::StGlobal ||
+           op == Opcode::LdLocal || op == Opcode::StLocal;
+}
+
+bool
+isSharedSpace(Opcode op)
+{
+    return op == Opcode::LdShared || op == Opcode::StShared;
+}
+
+bool
+isLongLatency(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::LdLocal ||
+           op == Opcode::Tex;
+}
+
+} // namespace unimem

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trace-level opcode set. The simulator is trace driven, so opcodes only
+ * distinguish behaviours that matter for timing and energy: functional
+ * unit, memory space, and synchronization.
+ */
+
+#ifndef UNIMEM_ARCH_OPCODE_HH
+#define UNIMEM_ARCH_OPCODE_HH
+
+#include "common/types.hh"
+
+namespace unimem {
+
+enum class Opcode : u8
+{
+    IntAlu,   ///< integer ALU op (8-cycle latency)
+    FpAlu,    ///< floating point ALU op (8-cycle latency)
+    Sfu,      ///< special function unit op (20-cycle latency)
+    LdGlobal, ///< load from global memory (through cache)
+    StGlobal, ///< store to global memory (write-through)
+    LdShared, ///< load from scratchpad (shared memory)
+    StShared, ///< store to scratchpad (shared memory)
+    LdLocal,  ///< load from thread-local memory (spill fill, cached)
+    StLocal,  ///< store to thread-local memory (register spill, cached)
+    Tex,      ///< texture fetch (400-cycle latency, bypasses data cache)
+    Bar,      ///< CTA-wide barrier
+};
+
+/** Human-readable opcode name. */
+const char* opcodeName(Opcode op);
+
+/** Any memory-space access (global/shared/local/texture). */
+bool isMemOp(Opcode op);
+
+/** Loads that produce a register value. */
+bool isLoad(Opcode op);
+
+/** Stores. */
+bool isStore(Opcode op);
+
+/** Accesses that go through the primary data cache and DRAM. */
+bool isGlobalSpace(Opcode op);
+
+/** Accesses to the scratchpad. */
+bool isSharedSpace(Opcode op);
+
+/**
+ * Variable/long-latency producers: the two-level scheduler deschedules a
+ * warp that becomes dependent on one of these (paper Section 2.1).
+ */
+bool isLongLatency(Opcode op);
+
+} // namespace unimem
+
+#endif // UNIMEM_ARCH_OPCODE_HH

@@ -1,0 +1,102 @@
+#include "arch/spill_injector.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+SpillInjector::SpillInjector(std::unique_ptr<WarpProgram> base,
+                             const SpillConfig& cfg, u64 warpGlobalId)
+    : base_(std::move(base)), cfg_(cfg), warpGlobalId_(warpGlobalId)
+{
+    if (cfg_.allocatedRegs == 0)
+        fatal("SpillInjector: zero allocated registers");
+    if (cfg_.multiplier < 1.0)
+        fatal("SpillInjector: multiplier %f < 1", cfg_.multiplier);
+}
+
+Addr
+SpillInjector::slotAddr(u32 slot, u32 lane) const
+{
+    // Per-warp contiguous stack, per-slot 128-byte line, lane-interleaved.
+    u64 warpStack = static_cast<u64>(cfg_.numSlots()) * kWarpWidth *
+                    kRegBytes;
+    return kLocalBase + warpGlobalId_ * warpStack +
+           static_cast<u64>(slot) * kWarpWidth * kRegBytes +
+           static_cast<u64>(lane) * kRegBytes;
+}
+
+RegId
+SpillInjector::remap(RegId r) const
+{
+    if (r == kInvalidReg)
+        return r;
+    return static_cast<RegId>(r % cfg_.allocatedRegs);
+}
+
+void
+SpillInjector::emitSpillOps(std::vector<WarpInstr>& buf)
+{
+    while (owed_ >= 1.0) {
+        owed_ -= 1.0;
+        u32 slot = static_cast<u32>(spillCounter_ / 2 % cfg_.numSlots());
+        bool store = (spillCounter_ % 2) == 0;
+        ++spillCounter_;
+
+        WarpInstr in;
+        in.op = store ? Opcode::StLocal : Opcode::LdLocal;
+        // Spill data/result cycles through the low allocated registers;
+        // the address is implicit (frame-pointer relative), so model a
+        // single register operand.
+        RegId r = static_cast<RegId>(spillCounter_ % cfg_.allocatedRegs);
+        if (store) {
+            in.src[0] = r;
+            in.numSrc = 1;
+        } else {
+            in.dst = r;
+            in.numSrc = 0;
+        }
+        in.accessBytes = kRegBytes;
+        in.activeMask = 0xffffffffu;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            in.addr[lane] = slotAddr(slot, lane);
+        buf.push_back(in);
+    }
+}
+
+bool
+SpillInjector::fill(std::vector<WarpInstr>& buf)
+{
+    size_t start = buf.size();
+    if (!base_->fill(buf))
+        return false;
+    if (!cfg_.active()) {
+        // Still remap register ids in case allocated < needed without a
+        // spill penalty (defensive; normally multiplier > 1 then).
+        if (cfg_.allocatedRegs < cfg_.neededRegs)
+            for (size_t i = start; i < buf.size(); ++i) {
+                buf[i].dst = remap(buf[i].dst);
+                for (u8 s = 0; s < buf[i].numSrc; ++s)
+                    buf[i].src[s] = remap(buf[i].src[s]);
+            }
+        return true;
+    }
+
+    // Remap the chunk into the allocated register range, then interleave
+    // spill traffic at the configured rate. Barriers never spill around.
+    std::vector<WarpInstr> chunk(buf.begin() + start, buf.end());
+    buf.resize(start);
+    double rate = cfg_.multiplier - 1.0;
+    for (WarpInstr in : chunk) {
+        in.dst = remap(in.dst);
+        for (u8 s = 0; s < in.numSrc; ++s)
+            in.src[s] = remap(in.src[s]);
+        buf.push_back(in);
+        if (in.op != Opcode::Bar) {
+            owed_ += rate;
+            emitSpillOps(buf);
+        }
+    }
+    return true;
+}
+
+} // namespace unimem

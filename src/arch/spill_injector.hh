@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Register spill/fill modeling.
+ *
+ * When a kernel is run with fewer registers per thread than it needs, the
+ * compiler inserts spill stores and fill loads to thread-local memory. The
+ * SpillInjector wraps a base WarpProgram and injects ld.local/st.local
+ * instructions at the rate given by the kernel's SpillCurve, remapping
+ * register ids into the allocated range. Local memory is interleaved per
+ * lane so that a warp's spill traffic coalesces into contiguous 128-byte
+ * lines, as real CUDA local memory does.
+ */
+
+#ifndef UNIMEM_ARCH_SPILL_INJECTOR_HH
+#define UNIMEM_ARCH_SPILL_INJECTOR_HH
+
+#include <memory>
+
+#include "arch/kernel_params.hh"
+#include "arch/warp_program.hh"
+
+namespace unimem {
+
+/** Configuration of the spill transformation for one launch. */
+struct SpillConfig
+{
+    /** Registers per thread the kernel would need for zero spills. */
+    u32 neededRegs = 16;
+
+    /** Registers per thread actually allocated. */
+    u32 allocatedRegs = 16;
+
+    /** Dynamic-instruction multiplier at allocatedRegs (from SpillCurve). */
+    double multiplier = 1.0;
+
+    bool active() const { return multiplier > 1.0 + 1e-9; }
+
+    /** Number of distinct thread-local spill slots. */
+    u32
+    numSlots() const
+    {
+        return neededRegs > allocatedRegs ? neededRegs - allocatedRegs : 1;
+    }
+};
+
+/** Wraps a warp trace, adding spill/fill traffic and remapping registers. */
+class SpillInjector : public WarpProgram
+{
+  public:
+    /**
+     * @param base the unspilled warp trace
+     * @param cfg spill parameters for this launch
+     * @param warpGlobalId unique warp number, used to place the warp's
+     *        local-memory stack
+     */
+    SpillInjector(std::unique_ptr<WarpProgram> base, const SpillConfig& cfg,
+                  u64 warpGlobalId);
+
+    bool fill(std::vector<WarpInstr>& buf) override;
+
+    /** Local-memory address of spill slot @p slot for lane @p lane. */
+    Addr slotAddr(u32 slot, u32 lane) const;
+
+  private:
+    void emitSpillOps(std::vector<WarpInstr>& buf);
+    RegId remap(RegId r) const;
+
+    std::unique_ptr<WarpProgram> base_;
+    SpillConfig cfg_;
+    u64 warpGlobalId_;
+
+    /** Fractional spill ops owed; incremented per base instruction. */
+    double owed_ = 0.0;
+
+    /** Alternates stores and fills for injected traffic. */
+    u64 spillCounter_ = 0;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_ARCH_SPILL_INJECTOR_HH

@@ -1,0 +1,195 @@
+#include "arch/trace_io.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+namespace {
+
+/** Opcode <-> token mapping for the trace format. */
+Opcode
+opcodeFromName(const std::string& name)
+{
+    for (int i = 0; i <= static_cast<int>(Opcode::Bar); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        if (name == opcodeName(op))
+            return op;
+    }
+    fatal("trace: unknown opcode '%s'", name.c_str());
+}
+
+void
+writeWarp(std::ostream& os, const KernelModel& kernel, const WarpCtx& ctx)
+{
+    os << "warp " << ctx.ctaId << " " << ctx.warpInCta << "\n";
+    auto prog = kernel.warpProgram(ctx);
+    std::vector<WarpInstr> buf;
+    while (prog->fill(buf)) {
+        for (const WarpInstr& in : buf) {
+            os << "i " << opcodeName(in.op) << " " << in.dst;
+            for (u8 s = 0; s < 3; ++s)
+                os << " " << (s < in.numSrc ? in.src[s] : kInvalidReg);
+            os << " " << std::hex << in.activeMask << std::dec << " "
+               << static_cast<u32>(in.accessBytes) << "\n";
+            if (isMemOp(in.op)) {
+                os << "a" << std::hex;
+                for (u32 lane = 0; lane < kWarpWidth; ++lane)
+                    if (in.laneActive(lane))
+                        os << " " << in.addr[lane];
+                os << std::dec << "\n";
+            }
+        }
+        buf.clear();
+    }
+    os << "end\n";
+}
+
+} // namespace
+
+void
+writeTrace(const KernelModel& kernel, std::ostream& os, u64 seed)
+{
+    const KernelParams& kp = kernel.params();
+    kp.validate();
+    os << "unimem-trace " << kTraceFormatVersion << "\n";
+    os << "kernel " << kp.name << " regs " << kp.regsPerThread
+       << " shared " << kp.sharedBytesPerCta << " cta " << kp.ctaThreads
+       << " grid " << kp.gridCtas << "\n";
+    for (u32 cta = 0; cta < kp.gridCtas; ++cta) {
+        for (u32 w = 0; w < kp.warpsPerCta(); ++w) {
+            WarpCtx ctx;
+            ctx.ctaId = cta;
+            ctx.warpInCta = w;
+            ctx.warpsPerCta = kp.warpsPerCta();
+            ctx.threadsPerCta = kp.ctaThreads;
+            ctx.seed = seed;
+            writeWarp(os, kernel, ctx);
+        }
+    }
+}
+
+TraceFileKernel::TraceFileKernel(std::istream& is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("trace: empty input");
+    {
+        std::istringstream hdr(line);
+        std::string magic;
+        u32 version = 0;
+        hdr >> magic >> version;
+        if (magic != "unimem-trace")
+            fatal("trace: bad magic '%s'", magic.c_str());
+        if (version != kTraceFormatVersion)
+            fatal("trace: unsupported version %u", version);
+    }
+    if (!std::getline(is, line))
+        fatal("trace: missing kernel header");
+    {
+        std::istringstream hdr(line);
+        std::string kw, name, t;
+        hdr >> kw >> name;
+        if (kw != "kernel")
+            fatal("trace: expected 'kernel', got '%s'", kw.c_str());
+        params_.name = name;
+        while (hdr >> kw) {
+            u64 value = 0;
+            if (!(hdr >> value))
+                fatal("trace: missing value for '%s'", kw.c_str());
+            if (kw == "regs")
+                params_.regsPerThread = static_cast<u32>(value);
+            else if (kw == "shared")
+                params_.sharedBytesPerCta = static_cast<u32>(value);
+            else if (kw == "cta")
+                params_.ctaThreads = static_cast<u32>(value);
+            else if (kw == "grid")
+                params_.gridCtas = static_cast<u32>(value);
+            else
+                fatal("trace: unknown kernel attribute '%s'", kw.c_str());
+        }
+    }
+    params_.validate();
+
+    std::vector<WarpInstr>* current = nullptr;
+    WarpInstr* last_mem = nullptr;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kw;
+        ls >> kw;
+        if (kw == "warp") {
+            u32 cta = 0, w = 0;
+            if (!(ls >> cta >> w))
+                fatal("trace: malformed warp header");
+            WarpKey key{cta, w};
+            if (warps_.count(key))
+                fatal("trace: duplicate warp %u/%u", cta, w);
+            current = &warps_[key];
+            last_mem = nullptr;
+        } else if (kw == "i") {
+            if (current == nullptr)
+                fatal("trace: instruction outside a warp block");
+            std::string opname;
+            u32 dst, s0, s1, s2, bytes;
+            u32 mask;
+            ls >> opname >> dst >> s0 >> s1 >> s2 >> std::hex >> mask >>
+                std::dec >> bytes;
+            if (ls.fail())
+                fatal("trace: malformed instruction line '%s'",
+                      line.c_str());
+            WarpInstr in;
+            in.op = opcodeFromName(opname);
+            in.dst = static_cast<RegId>(dst);
+            in.src = {static_cast<RegId>(s0), static_cast<RegId>(s1),
+                      static_cast<RegId>(s2)};
+            in.numSrc = 0;
+            for (RegId s : in.src)
+                if (s != kInvalidReg)
+                    ++in.numSrc;
+            in.activeMask = mask;
+            in.accessBytes = static_cast<u8>(bytes);
+            current->push_back(in);
+            last_mem = isMemOp(in.op) ? &current->back() : nullptr;
+        } else if (kw == "a") {
+            if (last_mem == nullptr)
+                fatal("trace: address line without a memory op");
+            for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+                if (!last_mem->laneActive(lane))
+                    continue;
+                u64 addr = 0;
+                if (!(ls >> std::hex >> addr))
+                    fatal("trace: too few addresses");
+                last_mem->addr[lane] = addr;
+            }
+            last_mem = nullptr;
+        } else if (kw == "end") {
+            current = nullptr;
+            last_mem = nullptr;
+        } else {
+            fatal("trace: unknown directive '%s'", kw.c_str());
+        }
+    }
+
+    u64 expected =
+        static_cast<u64>(params_.gridCtas) * params_.warpsPerCta();
+    if (warps_.size() != expected)
+        fatal("trace: found %zu warp streams, header implies %llu",
+              warps_.size(), static_cast<unsigned long long>(expected));
+}
+
+std::unique_ptr<WarpProgram>
+TraceFileKernel::warpProgram(const WarpCtx& ctx) const
+{
+    auto it = warps_.find(WarpKey{ctx.ctaId, ctx.warpInCta});
+    if (it == warps_.end())
+        fatal("trace: no stream for warp %u/%u", ctx.ctaId,
+              ctx.warpInCta);
+    return std::make_unique<FixedProgram>(it->second);
+}
+
+} // namespace unimem

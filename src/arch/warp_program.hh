@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The trace-stream abstraction: a WarpProgram produces the dynamic
+ * instruction sequence of one warp, chunk by chunk, so that arbitrarily
+ * long traces never need to be materialized in memory.
+ */
+
+#ifndef UNIMEM_ARCH_WARP_PROGRAM_HH
+#define UNIMEM_ARCH_WARP_PROGRAM_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/warp_instr.hh"
+#include "common/types.hh"
+
+namespace unimem {
+
+/** Identity of one warp within a kernel launch, given to trace generators. */
+struct WarpCtx
+{
+    /** CTA index within the SM's share of the grid. */
+    u32 ctaId = 0;
+
+    /** Warp index within the CTA. */
+    u32 warpInCta = 0;
+
+    u32 warpsPerCta = 1;
+    u32 threadsPerCta = kWarpWidth;
+
+    /** Deterministic per-launch seed; generators derive their RNG from it. */
+    u64 seed = 0;
+
+    /** Global thread id of this warp's lane 0. */
+    u64
+    firstThread() const
+    {
+        return static_cast<u64>(ctaId) * threadsPerCta +
+               static_cast<u64>(warpInCta) * kWarpWidth;
+    }
+};
+
+/**
+ * Generator of one warp's dynamic instruction stream.
+ *
+ * fill() appends the next chunk of instructions to @p buf and returns true,
+ * or returns false (appending nothing) when the warp has retired. A chunk
+ * is typically one loop iteration of the modeled kernel.
+ */
+class WarpProgram
+{
+  public:
+    virtual ~WarpProgram() = default;
+    virtual bool fill(std::vector<WarpInstr>& buf) = 0;
+};
+
+/**
+ * Pull-based reader over a WarpProgram with single-instruction lookahead,
+ * which is what the issue logic needs for dependence checks.
+ */
+class InstrStream
+{
+  public:
+    explicit InstrStream(std::unique_ptr<WarpProgram> prog)
+        : prog_(std::move(prog))
+    {
+    }
+
+    /** Next instruction without consuming it; nullptr at end of trace. */
+    const WarpInstr*
+    peek()
+    {
+        while (pos_ >= buf_.size()) {
+            if (done_)
+                return nullptr;
+            buf_.clear();
+            pos_ = 0;
+            if (!prog_->fill(buf_))
+                done_ = true;
+        }
+        return &buf_[pos_];
+    }
+
+    /** Consume the instruction returned by peek(). */
+    void pop() { ++pos_; }
+
+    bool exhausted() { return peek() == nullptr; }
+
+  private:
+    std::unique_ptr<WarpProgram> prog_;
+    std::vector<WarpInstr> buf_;
+    size_t pos_ = 0;
+    bool done_ = false;
+};
+
+/** A WarpProgram over a fixed instruction vector (used in tests). */
+class FixedProgram : public WarpProgram
+{
+  public:
+    explicit FixedProgram(std::vector<WarpInstr> instrs)
+        : instrs_(std::move(instrs))
+    {
+    }
+
+    bool
+    fill(std::vector<WarpInstr>& buf) override
+    {
+        if (emitted_)
+            return false;
+        emitted_ = true;
+        buf.insert(buf.end(), instrs_.begin(), instrs_.end());
+        return true;
+    }
+
+  private:
+    std::vector<WarpInstr> instrs_;
+    bool emitted_ = false;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_ARCH_WARP_PROGRAM_HH

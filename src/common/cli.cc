@@ -1,0 +1,81 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+CliArgs::CliArgs(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            std::string body = arg.substr(2);
+            auto eq = body.find('=');
+            if (eq == std::string::npos)
+                flags_[body] = "true";
+            else
+                flags_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else {
+            positional_.push_back(arg);
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string& name) const
+{
+    return flags_.count(name) != 0;
+}
+
+std::string
+CliArgs::getString(const std::string& name, const std::string& dflt) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? dflt : it->second;
+}
+
+long
+CliArgs::getInt(const std::string& name, long dflt) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return dflt;
+    char* end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0')
+        fatal("flag --%s expects an integer, got '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string& name, double dflt) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return dflt;
+    char* end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        fatal("flag --%s expects a number, got '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+CliArgs::getBool(const std::string& name, bool dflt) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return dflt;
+    const std::string& v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("flag --%s expects a boolean, got '%s'", name.c_str(), v.c_str());
+}
+
+} // namespace unimem

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal command-line flag parser for examples and bench harnesses.
+ *
+ * Accepts flags of the form --name=value and bare switches --name
+ * (interpreted as boolean true). Positional arguments are kept in order.
+ */
+
+#ifndef UNIMEM_COMMON_CLI_HH
+#define UNIMEM_COMMON_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace unimem {
+
+/** Parsed command line: --key=value flags plus positional arguments. */
+class CliArgs
+{
+  public:
+    CliArgs(int argc, const char* const* argv);
+
+    bool has(const std::string& name) const;
+
+    std::string getString(const std::string& name,
+                          const std::string& dflt) const;
+    long getInt(const std::string& name, long dflt) const;
+    double getDouble(const std::string& name, double dflt) const;
+    bool getBool(const std::string& name, bool dflt) const;
+
+    const std::vector<std::string>& positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_COMMON_CLI_HH

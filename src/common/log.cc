@@ -1,0 +1,83 @@
+#include "common/log.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace unimem {
+
+namespace {
+
+std::string
+vstrprintf(const char* fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (len < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+void
+emit(const char* tag, const char* fmt, va_list args)
+{
+    std::string msg = vstrprintf(fmt, args);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+fatal(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+warn(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("info", fmt, args);
+    va_end(args);
+}
+
+std::string
+strprintf(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+} // namespace unimem

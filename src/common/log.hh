@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 fatal/panic split:
+ * fatal() is for user errors (bad configuration), panic() is for internal
+ * invariant violations (simulator bugs).
+ */
+
+#ifndef UNIMEM_COMMON_LOG_HH
+#define UNIMEM_COMMON_LOG_HH
+
+#include <string>
+
+namespace unimem {
+
+/**
+ * Terminate the simulation due to a user-caused condition (bad config,
+ * invalid arguments). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate the simulation due to an internal invariant violation.
+ * Calls abort() so a core dump / debugger can inspect the state.
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about a condition that might indicate a problem but is survivable. */
+void warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace unimem
+
+#endif // UNIMEM_COMMON_LOG_HH

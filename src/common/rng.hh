@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the simulator (workload address patterns, scheduling
+ * jitter) flows through Rng so that simulations are exactly reproducible
+ * from a seed. The generator is xorshift64* seeded through splitmix64.
+ */
+
+#ifndef UNIMEM_COMMON_RNG_HH
+#define UNIMEM_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace unimem {
+
+/** Small, fast, deterministic PRNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-seed; a zero seed is remapped to a fixed non-zero state. */
+    void
+    reseed(u64 seed)
+    {
+        // splitmix64 to spread low-entropy seeds across the state space.
+        u64 z = seed + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        state_ = (z ^ (z >> 31)) | 1ull;
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [0, n). n must be > 0. */
+    u64 range(u64 n) { return next() % n; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    u64 state_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_COMMON_RNG_HH

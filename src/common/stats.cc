@@ -1,0 +1,55 @@
+#include "common/stats.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    values_[name] = value;
+}
+
+void
+StatSet::add(const std::string& name, double value)
+{
+    values_[name] += value;
+}
+
+double
+StatSet::get(const std::string& name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        fatal("StatSet: unknown statistic '%s'", name.c_str());
+    return it->second;
+}
+
+double
+StatSet::getOr(const std::string& name, double dflt) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return values_.count(name) != 0;
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [name, value] : other.values_)
+        values_[name] += value;
+}
+
+void
+StatSet::dump(std::ostream& os) const
+{
+    for (const auto& [name, value] : values_)
+        os << name << " = " << value << "\n";
+}
+
+} // namespace unimem

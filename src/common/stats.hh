@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lightweight statistics snapshot container.
+ *
+ * Hot-path components keep plain integer members; at the end of a run they
+ * export named values into a StatSet which reports, merges and diffs them.
+ */
+
+#ifndef UNIMEM_COMMON_STATS_HH
+#define UNIMEM_COMMON_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace unimem {
+
+/** An ordered name -> value map of simulation statistics. */
+class StatSet
+{
+  public:
+    /** Set (or overwrite) a statistic. */
+    void set(const std::string& name, double value);
+
+    /** Add to a statistic, creating it at zero if absent. */
+    void add(const std::string& name, double value);
+
+    /** Value of a statistic; fatal if absent and no default given. */
+    double get(const std::string& name) const;
+
+    /** Value of a statistic or @p dflt when absent. */
+    double getOr(const std::string& name, double dflt) const;
+
+    bool has(const std::string& name) const;
+
+    /** Accumulate every entry of @p other into this set. */
+    void merge(const StatSet& other);
+
+    /** Print "name = value" lines. */
+    void dump(std::ostream& os) const;
+
+    const std::map<std::string, double>& entries() const { return values_; }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_COMMON_STATS_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the unimem simulator.
+ */
+
+#ifndef UNIMEM_COMMON_TYPES_HH
+#define UNIMEM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace unimem {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte address in any simulated address space. */
+using Addr = std::uint64_t;
+
+/** Architectural register identifier within a thread. */
+using RegId = std::uint16_t;
+
+/** Sentinel for "no register". */
+constexpr RegId kInvalidReg = 0xffff;
+
+/** A cycle value meaning "never" / "not scheduled". */
+constexpr Cycle kCycleNever = ~Cycle(0);
+
+constexpr u64 operator"" _KB(unsigned long long v) { return v * 1024ull; }
+constexpr u64 operator"" _MB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull;
+}
+
+} // namespace unimem
+
+#endif // UNIMEM_COMMON_TYPES_HH

@@ -1,0 +1,47 @@
+#include "core/allocation.hh"
+
+namespace unimem {
+
+AllocationDecision
+allocatePartitioned(const KernelParams& kp, const MemoryPartition& part,
+                    u32 threadLimit, u32 regsOverride)
+{
+    AllocationDecision d;
+    d.design = DesignKind::Partitioned;
+    d.partition = part;
+    d.launch = occupancyPartitioned(kp, part.rfBytes, part.sharedBytes,
+                                    threadLimit, regsOverride);
+    return d;
+}
+
+AllocationDecision
+allocateUnified(const KernelParams& kp, u64 capacity, u32 threadLimit,
+                u32 regsOverride)
+{
+    AllocationDecision d;
+    d.design = DesignKind::Unified;
+    UnifiedLaunch ul =
+        occupancyUnified(kp, capacity, threadLimit, regsOverride);
+    d.launch = ul.launch;
+    d.partition.rfBytes = ul.launch.rfBytes;
+    d.partition.sharedBytes = ul.launch.sharedBytes;
+    d.partition.cacheBytes = ul.cacheBytes;
+    return d;
+}
+
+std::vector<AllocationDecision>
+allocateFermiLike(const KernelParams& kp, u64 totalBytes, u32 threadLimit)
+{
+    std::vector<AllocationDecision> out;
+    for (const MemoryPartition& part : fermiLikeOptions(totalBytes)) {
+        AllocationDecision d;
+        d.design = DesignKind::FermiLike;
+        d.partition = part;
+        d.launch = occupancyPartitioned(kp, part.rfBytes, part.sharedBytes,
+                                        threadLimit, 0);
+        out.push_back(d);
+    }
+    return out;
+}
+
+} // namespace unimem

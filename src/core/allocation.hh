@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The paper's Section 4.5 allocation algorithm: before each kernel
+ * launch, decide the register/scratchpad/cache split of the unified
+ * memory (or validate a launch against fixed capacities for the
+ * partitioned and Fermi-like designs).
+ */
+
+#ifndef UNIMEM_CORE_ALLOCATION_HH
+#define UNIMEM_CORE_ALLOCATION_HH
+
+#include <vector>
+
+#include "arch/kernel_params.hh"
+#include "core/partition.hh"
+#include "sched/occupancy.hh"
+
+namespace unimem {
+
+/** A fully resolved design + partition + launch for one kernel. */
+struct AllocationDecision
+{
+    DesignKind design = DesignKind::Partitioned;
+
+    /**
+     * Capacities. For the partitioned/Fermi-like designs these are the
+     * physical structure sizes; for the unified design they are the
+     * chosen split of the unified capacity (rf/shared = consumed,
+     * cache = leftover).
+     */
+    MemoryPartition partition;
+
+    LaunchConfig launch;
+};
+
+/** Launch a kernel on fixed partitioned capacities. */
+AllocationDecision allocatePartitioned(const KernelParams& kp,
+                                       const MemoryPartition& part,
+                                       u32 threadLimit = kMaxThreadsPerSm,
+                                       u32 regsOverride = 0);
+
+/**
+ * Section 4.5: registers per thread from the compiler (no-spill count
+ * unless overridden), scratchpad from the kernel, thread count maximized,
+ * remainder to cache.
+ */
+AllocationDecision allocateUnified(const KernelParams& kp, u64 capacity,
+                                   u32 threadLimit = kMaxThreadsPerSm,
+                                   u32 regsOverride = 0);
+
+/**
+ * The two Fermi-like configurations for @p totalBytes (Section 6.3);
+ * infeasible options are still returned with launch.feasible == false.
+ */
+std::vector<AllocationDecision>
+allocateFermiLike(const KernelParams& kp, u64 totalBytes,
+                  u32 threadLimit = kMaxThreadsPerSm);
+
+} // namespace unimem
+
+#endif // UNIMEM_CORE_ALLOCATION_HH

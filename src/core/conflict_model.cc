@@ -1,0 +1,182 @@
+#include "core/conflict_model.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+namespace {
+
+/** Collect distinct values (words or chunks) from a warp's lanes. */
+class DistinctSet
+{
+  public:
+    void
+    add(Addr v)
+    {
+        for (u32 i = 0; i < size_; ++i)
+            if (vals_[i] == v)
+                return;
+        if (size_ < vals_.size())
+            vals_[size_++] = v;
+    }
+
+    u32 size() const { return size_; }
+    Addr operator[](u32 i) const { return vals_[i]; }
+
+  private:
+    std::array<Addr, kWarpWidth> vals_{};
+    u32 size_ = 0;
+};
+
+bool
+usesDataBanks(Opcode op)
+{
+    // Texture fetches go through the texture unit, not the SM data banks.
+    return isMemOp(op) && op != Opcode::Tex;
+}
+
+} // namespace
+
+ConflictOutcome
+ConflictModel::evaluate(const WarpInstr& in, const u8* mrfBanks,
+                        u32 numMrfReads) const
+{
+    if (kind_ == DesignKind::Unified)
+        return evalUnified(in, mrfBanks, numMrfReads);
+    return evalPartitioned(in, mrfBanks, numMrfReads);
+}
+
+ConflictOutcome
+ConflictModel::evalPartitioned(const WarpInstr& in, const u8* mrfBanks,
+                               u32 numMrfReads) const
+{
+    ConflictOutcome out;
+
+    // MRF operand reads: one bank per operand, replicated per cluster.
+    std::array<u32, kBanksPerCluster> regCounts{};
+    for (u32 i = 0; i < numMrfReads; ++i)
+        ++regCounts[mrfBanks[i] % kBanksPerCluster];
+    u32 reg_max = *std::max_element(regCounts.begin(), regCounts.end());
+
+    u32 mem_max = 0;
+    if (usesDataBanks(in.op)) {
+        DistinctSet words;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            if (in.laneActive(lane))
+                words.add(in.addr[lane] / kPartitionedBankWidth);
+        out.distinctWords = words.size();
+        // Chunk count is reported for cross-design comparisons even
+        // though the partitioned design moves data in 4-byte words.
+        DistinctSet chunks;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            if (in.laneActive(lane))
+                chunks.add(in.addr[lane] / kUnifiedBankWidth);
+        out.distinctChunks = chunks.size();
+
+        if (isSharedSpace(in.op)) {
+            std::array<u32, kBanksPerSm> memCounts{};
+            for (u32 i = 0; i < words.size(); ++i)
+                ++memCounts[words[i] % kBanksPerSm];
+            mem_max = *std::max_element(memCounts.begin(), memCounts.end());
+        } else {
+            // Aligned full-line cache access: one access per bank per
+            // line; multi-line serialization is charged at the tag port.
+            mem_max = words.size() > 0 ? 1 : 0;
+        }
+    }
+
+    u32 reg_pen = reg_max > 1 ? reg_max - 1 : 0;
+    u32 mem_pen = mem_max > 1 ? mem_max - 1 : 0;
+    out.penalty = reg_pen + mem_pen;
+    out.regPenalty = reg_pen;
+    out.maxPerBank = std::max(reg_max, mem_max);
+    return out;
+}
+
+ConflictOutcome
+ConflictModel::evalUnified(const WarpInstr& in, const u8* mrfBanks,
+                           u32 numMrfReads) const
+{
+    ConflictOutcome out;
+
+    // counts[cluster][bank]: a register read hits its bank in every
+    // cluster (the same-named register of each lane group).
+    std::array<std::array<u32, kBanksPerCluster>, kNumClusters> counts{};
+    std::array<u32, kNumClusters> chunksPerCluster{};
+
+    for (u32 i = 0; i < numMrfReads; ++i) {
+        u32 bank = mrfBanks[i] % kBanksPerCluster;
+        for (u32 c = 0; c < kNumClusters; ++c)
+            ++counts[c][bank];
+    }
+
+    if (usesDataBanks(in.op)) {
+        DistinctSet chunks;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            if (in.laneActive(lane))
+                chunks.add(in.addr[lane] / kUnifiedBankWidth);
+        out.distinctChunks = chunks.size();
+
+        DistinctSet words;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            if (in.laneActive(lane))
+                words.add(in.addr[lane] / kPartitionedBankWidth);
+        out.distinctWords = words.size();
+
+        if (isSharedSpace(in.op)) {
+            // Scatter/gather access: every distinct 16-byte chunk is a
+            // separate bank access, and the simple design serializes
+            // chunks cluster-wide.
+            for (u32 i = 0; i < chunks.size(); ++i) {
+                Addr k = chunks[i];
+                u32 cluster = static_cast<u32>(k % kNumClusters);
+                u32 bank = static_cast<u32>((k / kNumClusters) %
+                                            kBanksPerCluster);
+                ++counts[cluster][bank];
+                ++chunksPerCluster[cluster];
+            }
+        } else {
+            // Cache access: a 128-byte line is read/written as one
+            // parallel access to bank (line % 4) in all 8 clusters;
+            // multiple lines contend only at bank granularity (they
+            // already serialize on the tag port).
+            DistinctSet lines;
+            for (u32 lane = 0; lane < kWarpWidth; ++lane)
+                if (in.laneActive(lane))
+                    lines.add(in.addr[lane] / kCacheLineBytes);
+            for (u32 i = 0; i < lines.size(); ++i) {
+                u32 bank =
+                    static_cast<u32>(lines[i] % kBanksPerCluster);
+                for (u32 c = 0; c < kNumClusters; ++c)
+                    ++counts[c][bank];
+            }
+        }
+    }
+
+    u32 chain_max = 0;
+    u32 bank_max = 0;
+    for (u32 c = 0; c < kNumClusters; ++c) {
+        u32 cluster_bank_max =
+            *std::max_element(counts[c].begin(), counts[c].end());
+        bank_max = std::max(bank_max, cluster_bank_max);
+        u32 chain = cluster_bank_max;
+        if (!aggressive_) {
+            // Simple design: one bank per cluster reaches the crossbar
+            // per cycle, so chunks serialize cluster-wide.
+            chain = std::max(chain, chunksPerCluster[c]);
+        }
+        chain_max = std::max(chain_max, chain);
+    }
+
+    out.penalty = chain_max > 1 ? chain_max - 1 : 0;
+    // Pure compute instructions stall the issue stage on operand
+    // conflicts; memory instructions serialize in the access port.
+    out.regPenalty = usesDataBanks(in.op) ? 0 : out.penalty;
+    out.maxPerBank = bank_max;
+    return out;
+}
+
+} // namespace unimem

@@ -1,0 +1,64 @@
+#include "core/partition.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+const char*
+designName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Partitioned: return "partitioned";
+      case DesignKind::Unified: return "unified";
+      case DesignKind::FermiLike: return "fermi-like";
+    }
+    panic("designName: bad kind %d", static_cast<int>(kind));
+}
+
+std::string
+MemoryPartition::str() const
+{
+    return strprintf("rf=%lluKB shared=%lluKB cache=%lluKB",
+                     static_cast<unsigned long long>(rfBytes / 1024),
+                     static_cast<unsigned long long>(sharedBytes / 1024),
+                     static_cast<unsigned long long>(cacheBytes / 1024));
+}
+
+MemoryPartition
+baselinePartition()
+{
+    return MemoryPartition{256_KB, 64_KB, 64_KB};
+}
+
+std::vector<MemoryPartition>
+fermiLikeOptions(u64 totalBytes)
+{
+    if (totalBytes <= 256_KB)
+        fatal("fermiLikeOptions: total %llu too small for the fixed 256KB "
+              "register file",
+              static_cast<unsigned long long>(totalBytes));
+    u64 pool = totalBytes - 256_KB;
+    u64 big = pool * 3 / 4;
+    u64 small = pool - big;
+    return {
+        MemoryPartition{256_KB, big, small},
+        MemoryPartition{256_KB, small, big},
+    };
+}
+
+u64
+unifiedBankBytes(u64 totalBytes)
+{
+    return totalBytes / kBanksPerSm;
+}
+
+u64
+tagStorageBytes(u64 cacheBytes)
+{
+    u64 lines = cacheBytes / kCacheLineBytes;
+    // ~19 bits of tag + valid per line, rounded to bytes; reproduces the
+    // paper's 1.125KB for 64KB and ~7.125KB for a 384KB maximum cache.
+    return lines * 19 / 8 + lines / 8;
+}
+
+} // namespace unimem

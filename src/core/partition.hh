@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory partition descriptors for the three SM designs the paper
+ * evaluates: the hard-partitioned baseline, the fully unified design, and
+ * the Fermi-like limited-flexibility design (paper Sections 2, 4, 6.3).
+ */
+
+#ifndef UNIMEM_CORE_PARTITION_HH
+#define UNIMEM_CORE_PARTITION_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu_constants.hh"
+#include "common/types.hh"
+
+namespace unimem {
+
+/** Which bank organization the SM uses. */
+enum class DesignKind : u8
+{
+    /** Separate MRF / scratchpad / cache structures (baseline). */
+    Partitioned,
+
+    /** One pool of 32 unified banks, flexible split (the proposal). */
+    Unified,
+
+    /**
+     * Fixed register file; scratchpad and cache share a pool with a
+     * two-way configurable split (Fermi-style). Bank structure behaves
+     * like the partitioned design.
+     */
+    FermiLike,
+};
+
+const char* designName(DesignKind kind);
+
+/** Byte capacities of the three storage types. */
+struct MemoryPartition
+{
+    u64 rfBytes = 0;
+    u64 sharedBytes = 0;
+    u64 cacheBytes = 0;
+
+    u64 total() const { return rfBytes + sharedBytes + cacheBytes; }
+
+    std::string str() const;
+};
+
+/** The paper's baseline: 256 KB RF + 64 KB shared + 64 KB cache. */
+MemoryPartition baselinePartition();
+
+/**
+ * The two Fermi-like options for a given total capacity: the register
+ * file is fixed at 256 KB and the remainder splits 3:1 either way
+ * (for 384 KB total: 96/32 and 32/96, paper Section 6.3).
+ */
+std::vector<MemoryPartition> fermiLikeOptions(u64 totalBytes);
+
+/**
+ * Per-bank capacity of the unified design (capacity spread over the SM's
+ * 32 banks; 384 KB -> 12 KB banks).
+ */
+u64 unifiedBankBytes(u64 totalBytes);
+
+/**
+ * Tag storage required for a cache of @p cacheBytes (used to report the
+ * unified design's tag overhead, paper Section 4.1): 4-way, 128 B lines,
+ * ~18 tag bits + valid per line.
+ */
+u64 tagStorageBytes(u64 cacheBytes);
+
+} // namespace unimem
+
+#endif // UNIMEM_CORE_PARTITION_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Chip energy model (paper Section 5.2, Tables 3 and 4).
+ *
+ * Components modeled:
+ *  - Bank access energy: per-16-byte-access SRAM energy as a function of
+ *    bank capacity, fit through the paper's Table 4 points
+ *    (E = a + b*sqrt(capacity) reproduces all three rows within ~3%).
+ *  - Wiring overhead: unified scratchpad/cache accesses cost 10% extra
+ *    (the 4:1 crossbar mux, longer wires, and tag lookup growth).
+ *  - SM dynamic energy: each benchmark's "everything else" dynamic power
+ *    is calibrated so the baseline 256/64/64 run dissipates 1.9 W.
+ *  - Leakage: 0.9 W per SM at the 384 KB baseline, adjusted by
+ *    2.37 mW per KB of SRAM capacity, scaled by runtime.
+ *  - DRAM: 40 pJ per bit transferred.
+ */
+
+#ifndef UNIMEM_ENERGY_ENERGY_MODEL_HH
+#define UNIMEM_ENERGY_ENERGY_MODEL_HH
+
+#include "core/partition.hh"
+
+namespace unimem {
+
+/** Table 3 constants. */
+struct EnergyParams
+{
+    double frequencyHz = 1e9;
+    double smDynamicPowerW = 1.9;
+    double smLeakageBaselineW = 0.9;
+    double sramLeakagePerKbW = 2.37e-3;
+    double baselineSramKb = 384.0;
+    double dramEnergyPerBitJ = 40e-12;
+    double unifiedWiringFactor = 1.10;
+
+    /** Floor for the calibrated non-bank dynamic power. */
+    double minOtherDynamicPowerW = 0.1;
+
+    /** Floor for total SM leakage at small capacities. */
+    double minLeakageW = 0.1;
+};
+
+/** Per-16-byte-access read energy (J) for a bank of @p bankBytes. */
+double bankReadEnergy(u64 bankBytes);
+
+/** Per-16-byte-access write energy (J) for a bank of @p bankBytes. */
+double bankWriteEnergy(u64 bankBytes);
+
+/** Traffic counters a simulation exports for energy accounting. */
+struct EnergyInputs
+{
+    DesignKind design = DesignKind::Partitioned;
+    MemoryPartition partition;
+
+    /** Runtime in cycles. */
+    u64 cycles = 0;
+
+    /** Warp-wide MRF accesses (each touches one 16B bank per cluster). */
+    u64 mrfReads = 0;
+    u64 mrfWrites = 0;
+
+    /** Bytes moved through scratchpad banks. */
+    u64 sharedReadBytes = 0;
+    u64 sharedWriteBytes = 0;
+
+    /** Bytes moved through cache data banks (hits and fills). */
+    u64 cacheReadBytes = 0;
+    u64 cacheWriteBytes = 0;
+
+    /** Bytes transferred to/from DRAM. */
+    u64 dramBytes = 0;
+};
+
+/** Energy decomposition in joules. */
+struct EnergyBreakdown
+{
+    double coreDynamicJ = 0;
+    double bankAccessJ = 0;
+    double leakageJ = 0;
+    double dramJ = 0;
+
+    double
+    total() const
+    {
+        return coreDynamicJ + bankAccessJ + leakageJ + dramJ;
+    }
+};
+
+/** Bank access energy only (used for calibration). */
+double bankAccessEnergy(const EnergyInputs& in, const EnergyParams& p);
+
+/**
+ * Calibrate the benchmark's non-bank SM dynamic power from its baseline
+ * run so that total SM dynamic power equals smDynamicPowerW (Section 5.2).
+ */
+double calibrateOtherDynamicPower(const EnergyInputs& baseline,
+                                  const EnergyParams& p);
+
+/**
+ * Full energy for a run.
+ * @param otherDynamicPowerW value from calibrateOtherDynamicPower()
+ */
+EnergyBreakdown computeEnergy(const EnergyInputs& in, const EnergyParams& p,
+                              double otherDynamicPowerW);
+
+} // namespace unimem
+
+#endif // UNIMEM_ENERGY_ENERGY_MODEL_HH

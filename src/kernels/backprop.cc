@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Neural-network back-propagation layer sweep (Rodinia "backprop").
+ *
+ * The weight matrix streams through once (coalesced, no reuse) while the
+ * small input-activation vector (~12 KB) is re-read for every weight
+ * row; a 64 KB cache fully captures the vector (Table 1: 1.56 / 1.00 /
+ * 1.00). A few bytes of scratchpad stage partial sums (2.125 B/thread).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kWeightBase = 0;
+constexpr Addr kInputBase = 1ull << 32;
+constexpr Addr kOutBase = 2ull << 32;
+constexpr u64 kInputBytes = 12 * 1024;
+constexpr u32 kRows = 24;
+
+class BackpropProgram : public StepProgram
+{
+  public:
+    BackpropProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kRows, kp.sharedBytesPerCta)
+    {
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        // Fresh weight-row slice: coalesced stream, never re-read.
+        Addr w_addr =
+            kWeightBase +
+            ((static_cast<Addr>(ctx().ctaId) * ctx().warpsPerCta +
+              ctx().warpInCta) *
+                 kRows +
+             step) *
+                kWarpWidth * 4;
+        ldGlobal(w_addr, 4, 4);
+
+        // Two activation reads from the small shared vector: the j index
+        // walks the vector, identical across warps (broadcast within the
+        // warp; heavily re-read across the grid).
+        for (u32 k = 0; k < 2; ++k) {
+            u64 j = (static_cast<u64>(step) * 2 + k) * 64 % kInputBytes;
+            LaneAddrs a{};
+            for (u32 lane = 0; lane < kWarpWidth; ++lane)
+                a[lane] = kInputBase + j + (lane % 4) * 4;
+            ldGlobalIdx(a, 4);
+            fma(static_cast<RegId>(numRegs() - 1));
+        }
+        alu(2, true);
+
+        // Stage partial sums in the (tiny) scratchpad every few rows.
+        if (step % 8 == 7) {
+            stShared(static_cast<Addr>(ctx().warpInCta) * 64, 4, 4, laneMask(16));
+            barrier();
+            ldShared(static_cast<Addr>(ctx().warpInCta) * 64, 4, 4, laneMask(16));
+            alu(1, true);
+            stGlobal(kOutBase + w_addr / 8, 4, 4);
+        }
+    }
+};
+
+class BackpropKernel : public SyntheticKernel
+{
+  public:
+    explicit BackpropKernel(double scale)
+    {
+        params_.name = "backprop";
+        params_.regsPerThread = 17;
+        params_.sharedBytesPerCta = 544; // 2.125 B/thread
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(32, scale);
+        params_.spillCurve = SpillCurve({{18, 1.02}, {24, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<BackpropProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeBackprop(double scale)
+{
+    return std::make_unique<BackpropKernel>(scale);
+}
+
+} // namespace unimem

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Breadth-first search over a million-node graph (Rodinia "bfs").
+ *
+ * Per frontier iteration each thread reads its node record (coalesced),
+ * walks ~4 edges (coalesced edge-list reads) and probes the visited/cost
+ * array of the 1MB graph at each neighbour's index. Probes concentrate
+ * on high-degree hub nodes (small, cached anywhere) and the frontier's
+ * drifting community region (~160KB - needs a large cache); a tail is
+ * uniform over the graph (Table 1 shape: 1.46 / 1.13 / 1.00). Uses few
+ * registers (9) and no scratchpad, so under the unified design nearly
+ * all capacity becomes cache (Figure 8).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kNodeBase = 0;
+constexpr Addr kEdgeBase = 1ull << 32;
+constexpr Addr kVisitedBase = 2ull << 32;
+/** Visited/cost array of the million-node graph (1 node = 1 word). */
+constexpr u64 kVisitedBytes = 1024 * 1024;
+/** Hub region: high-degree nodes most edges point at. */
+constexpr u64 kHubBytes = 40 * 1024;
+/** Drifting community region around the current frontier. */
+constexpr u64 kCommunityBytes = 160 * 1024;
+constexpr u32 kIterations = 12;
+constexpr u32 kDegree = 4;
+
+class BfsProgram : public StepProgram
+{
+  public:
+    BfsProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kIterations,
+                      kp.sharedBytesPerCta)
+    {
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        u64 tid0 = threadId(0);
+
+        // Node records and frontier costs: a different slice of the
+        // graph each frontier iteration (coalesced, no reuse).
+        Addr wave = static_cast<Addr>(step) * (1ull << 24);
+        ldGlobal(kNodeBase + wave + tid0 * 8, 8, 8);
+        ldGlobal(kNodeBase + (1ull << 30) + wave + tid0 * 4, 4, 4);
+        alu(2);
+
+        // Community window drifts with the frontier.
+        u64 community =
+            (static_cast<u64>(step) * 32 * 1024) % kVisitedBytes;
+
+        for (u32 e = 0; e < kDegree; ++e) {
+            // Edge list for this frontier: coalesced fresh stream.
+            ldGlobal(kEdgeBase + wave + (tid0 * kDegree + e) * 4, 4, 4);
+            alu(1);
+
+            // Visited probes: edges mostly point at hub nodes (hot,
+            // fits any cache) or the frontier's community (fits a large
+            // cache), with a tail across the whole graph. Two probes
+            // per edge (visited flag + cost).
+            for (u32 probe_i = 0; probe_i < 2; ++probe_i) {
+                double p = rng().uniform();
+                u64 centre;
+                if (p < 0.65)
+                    centre = rng().range(kHubBytes);
+                else if (p < 0.90)
+                    centre = community + rng().range(kCommunityBytes);
+                else
+                    centre = rng().range(kVisitedBytes);
+                LaneAddrs probe{};
+                for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+                    u64 off = (centre + rng().range(256)) % kVisitedBytes;
+                    probe[lane] = kVisitedBase + (off & ~3ull);
+                }
+                ldGlobalIdx(probe, 4);
+                alu(4);
+
+                // A few lanes update the frontier/cost.
+                u32 mask = static_cast<u32>(rng().next()) &
+                           static_cast<u32>(rng().next()) &
+                           static_cast<u32>(rng().next());
+                if (probe_i == 1 && mask != 0)
+                    stGlobalIdx(probe, 4, mask);
+            }
+        }
+    }
+};
+
+class BfsKernel : public SyntheticKernel
+{
+  public:
+    explicit BfsKernel(double scale)
+    {
+        params_.name = "bfs";
+        params_.regsPerThread = 9;
+        params_.sharedBytesPerCta = 0;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(32, scale);
+        params_.spillCurve = SpillCurve();
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<BfsProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeBfs(double scale)
+{
+    return std::make_unique<BfsKernel>(scale);
+}
+
+} // namespace unimem

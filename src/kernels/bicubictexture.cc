@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bicubic texture filtering (CUDA SDK "bicubicTexture").
+ *
+ * Each output pixel takes a 4x4 neighbourhood of texture taps plus
+ * weight evaluation - register hungry (33/thread, spills below 40) with
+ * no scratchpad. All fetches go through the texture unit, which has its
+ * own cache, so the primary data cache capacity is irrelevant
+ * (Table 1: 1.00 / 1.00 / 1.00).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kTexBase = 0;
+constexpr Addr kOutBase = 1ull << 32;
+constexpr u32 kTexWidth = 1024; // texels per row
+constexpr u32 kPixelsPerThread = 12;
+
+class BicubicProgram : public StepProgram
+{
+  public:
+    BicubicProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kPixelsPerThread,
+                      kp.sharedBytesPerCta)
+    {
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        // Pixel coordinates: warps sweep rows, lanes adjacent columns.
+        u64 px0 = (threadId(0) * kPixelsPerThread + step) % kTexWidth;
+        u64 py = (threadId(0) / kTexWidth + step * 3) % kTexWidth;
+
+        for (u32 ty = 0; ty < 2; ++ty) {
+            LaneAddrs a{};
+            for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+                u64 px = (px0 + lane) % kTexWidth;
+                a[lane] = kTexBase +
+                          ((py + ty) % kTexWidth * kTexWidth + px) * 4;
+            }
+            texFetch(a, 4);
+            texFetch(a, 4); // second row pair of the 4x4 footprint
+            alu(3, true);
+        }
+        // Cubic weight evaluation.
+        alu(6, true);
+        sfu(1);
+        stGlobal(kOutBase + (threadId(0) * kPixelsPerThread + step) * 4,
+                 4, 4);
+    }
+};
+
+class BicubicKernel : public SyntheticKernel
+{
+  public:
+    explicit BicubicKernel(double scale)
+    {
+        params_.name = "bicubictexture";
+        params_.regsPerThread = 33;
+        params_.sharedBytesPerCta = 0;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve =
+            SpillCurve({{18, 1.18}, {24, 1.10}, {32, 1.05}, {40, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<BicubicProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeBicubicTexture(double scale)
+{
+    return std::make_unique<BicubicKernel>(scale);
+}
+
+} // namespace unimem

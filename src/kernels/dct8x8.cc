@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 8x8 discrete cosine transform (CUDA SDK "dct8x8", the register-resident
+ * variant with no scratchpad, per Table 1).
+ *
+ * Each thread keeps an 8x8 block's row in registers through two butterfly
+ * passes: coalesced block loads, a long FP ALU chain, coalesced stores.
+ * Cache-insensitive streaming (Table 1: 1.00 / 1.00 / 1.00).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kInBase = 0;
+constexpr Addr kOutBase = 1ull << 32;
+constexpr u32 kBlocksPerThread = 8;
+
+class DctProgram : public StepProgram
+{
+  public:
+    DctProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kBlocksPerThread,
+                      kp.sharedBytesPerCta)
+    {
+        warpGid_ = static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                   ctx.warpInCta;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        Addr block =
+            (warpGid_ * kBlocksPerThread + step) * kWarpWidth * 32;
+        // Load 8 row elements (two 16B vector loads per thread).
+        ldGlobal(kInBase + block, 16, 4);
+        ldGlobal(kInBase + block + kWarpWidth * 16, 16, 4);
+        // Row and column butterfly passes.
+        alu(12, true);
+        fma(static_cast<RegId>(numRegs() - 1));
+        fma(static_cast<RegId>(numRegs() - 2));
+        alu(10, true);
+        stGlobal(kOutBase + block, 16, 4);
+        stGlobal(kOutBase + block + kWarpWidth * 16, 16, 4);
+    }
+
+  private:
+    Addr warpGid_ = 0;
+};
+
+class DctKernel : public SyntheticKernel
+{
+  public:
+    explicit DctKernel(double scale)
+    {
+        params_.name = "dct8x8";
+        params_.regsPerThread = 26;
+        params_.sharedBytesPerCta = 0;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve =
+            SpillCurve({{18, 1.16}, {24, 1.10}, {32, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<DctProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeDct8x8(double scale)
+{
+    return std::make_unique<DctKernel>(scale);
+}
+
+} // namespace unimem

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * One-level-per-kernel 1D Haar wavelet (CUDA SDK "dwtHaar1D").
+ *
+ * Signal pairs load coalesced, averages/differences compute in
+ * registers, results ping-pong through a small scratchpad region
+ * (8 B/thread) with per-level barriers. Streaming and cache-insensitive
+ * (Table 1: 1.00 / 1.00 / 1.00).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kInBase = 0;
+constexpr Addr kOutBase = 1ull << 32;
+constexpr u32 kLevels = 8;
+
+class DwtProgram : public StepProgram
+{
+  public:
+    DwtProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kLevels + 2,
+                      kp.sharedBytesPerCta),
+          warpShared_(static_cast<Addr>(ctx.warpInCta) * 256)
+    {
+        warpGid_ = static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                   ctx.warpInCta;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        if (step == 0) {
+            ldGlobal(kInBase + warpGid_ * kWarpWidth * 8, 8, 8);
+            alu(2, true);
+            stShared(warpShared_, 4, 4);
+            barrier();
+            return;
+        }
+        if (step == kLevels + 1) {
+            ldShared(warpShared_, 4, 4);
+            stGlobal(kOutBase + warpGid_ * kWarpWidth * 8, 8, 8);
+            return;
+        }
+        u32 level = step - 1;
+        Addr src = warpShared_ + (level % 2) * 128;
+        ldShared(src, 4, 4, laneMask(kWarpWidth >> (level % 4)));
+        alu(3, true);
+        stShared(warpShared_ + ((level + 1) % 2) * 128, 4, 4,
+                 laneMask(kWarpWidth >> (level % 4)));
+        barrier();
+    }
+
+  private:
+    Addr warpShared_;
+    Addr warpGid_ = 0;
+};
+
+class DwtKernel : public SyntheticKernel
+{
+  public:
+    explicit DwtKernel(double scale)
+    {
+        params_.name = "dwthaar1d";
+        params_.regsPerThread = 14;
+        params_.sharedBytesPerCta = 8 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(32, scale);
+        params_.spillCurve = SpillCurve();
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<DwtProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeDwtHaar1d(double scale)
+{
+    return std::make_unique<DwtKernel>(scale);
+}
+
+} // namespace unimem

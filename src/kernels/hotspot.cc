@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Thermal simulation stencil (Rodinia "hotspot").
+ *
+ * A 5-point stencil over a narrow band staged through the scratchpad
+ * (12 B/thread): the north/south rows are re-read from global memory
+ * each step but the band is small, so a 64 KB cache already captures all
+ * reuse (Table 1: 1.44 / 1.00 / 1.00).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kTempBase = 0;
+constexpr Addr kPowerBase = 1ull << 32;
+constexpr Addr kOutBase = 2ull << 32;
+constexpr u32 kRows = 16;
+constexpr u32 kBandRows = 8; // per-CTA hot band (fits a 64KB cache x4 CTAs)
+constexpr u32 kRowBytes = 1024;
+
+class HotspotProgram : public StepProgram
+{
+  public:
+    HotspotProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kRows, kp.sharedBytesPerCta),
+          band_(kTempBase +
+                static_cast<Addr>(ctx.ctaId) * kBandRows * kRowBytes)
+    {
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        Addr row = band_ +
+                   static_cast<Addr>(step % kBandRows) * kRowBytes +
+                   ctx().warpInCta * 128;
+        ldGlobal(row, 4, 4);                         // center
+        ldGlobal(row >= kRowBytes ? row - kRowBytes : row, 4, 4);
+        ldGlobal(row + kRowBytes, 4, 4);             // south
+        ldGlobal(kPowerBase + (row - kTempBase), 4, 4);
+        stShared(static_cast<Addr>(ctx().warpInCta) * 384, 4, 4);
+        barrier();
+        ldShared(static_cast<Addr>(ctx().warpInCta) * 384, 4, 4);
+        alu(6, true);
+        stGlobal(kOutBase + (row - kTempBase), 4, 4);
+    }
+
+  private:
+    Addr band_;
+};
+
+class HotspotKernel : public SyntheticKernel
+{
+  public:
+    explicit HotspotKernel(double scale)
+    {
+        params_.name = "hotspot";
+        params_.regsPerThread = 22;
+        params_.sharedBytesPerCta = 12 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve = SpillCurve({{18, 1.21}, {24, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<HotspotProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeHotspot(double scale)
+{
+    return std::make_unique<HotspotKernel>(scale);
+}
+
+} // namespace unimem

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * 1D Haar wavelet transform (GPGPU-Sim suite "hwt", the multi-level
+ * variant with 35 registers per thread).
+ *
+ * The signal is loaded once, transformed level by level in the
+ * scratchpad (23 B/thread) with a barrier between levels, and written
+ * back - negligible cache sensitivity (Table 1: 1.00 / 1.00 / 1.00) but
+ * high register pressure for the filter state.
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kInBase = 0;
+constexpr Addr kOutBase = 1ull << 32;
+constexpr u32 kLevels = 8;
+
+class HwtProgram : public StepProgram
+{
+  public:
+    HwtProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kLevels + 2,
+                      kp.sharedBytesPerCta),
+          warpShared_(static_cast<Addr>(ctx.warpInCta) * 640)
+    {
+        warpGid_ = static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                   ctx.warpInCta;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        if (step == 0) {
+            ldGlobal(kInBase + warpGid_ * kWarpWidth * 8, 8, 8);
+            stShared(warpShared_, 4, 4);
+            barrier();
+            return;
+        }
+        if (step == kLevels + 1) {
+            ldShared(warpShared_, 4, 4);
+            stGlobal(kOutBase + warpGid_ * kWarpWidth * 8, 8, 8);
+            return;
+        }
+
+        u32 level = step - 1;
+        // Average/difference pairs: even/odd elements of this level's
+        // half of the warp's scratchpad region (ping-pong buffers).
+        Addr src = warpShared_ + (level % 2) * 256;
+        ldShared(src, 8, 4);
+        ldShared(src + 4, 8, 4);
+        alu(5, true);
+        stShared(warpShared_ + ((level + 1) % 2) * 256, 4, 4);
+        barrier();
+    }
+
+  private:
+    Addr warpShared_;
+    Addr warpGid_ = 0;
+};
+
+class HwtKernel : public SyntheticKernel
+{
+  public:
+    explicit HwtKernel(double scale)
+    {
+        params_.name = "hwt";
+        params_.regsPerThread = 35;
+        params_.sharedBytesPerCta = 23 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(32, scale);
+        params_.spillCurve =
+            SpillCurve({{18, 1.04}, {32, 1.04}, {40, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<HwtProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeHwt(double scale)
+{
+    return std::make_unique<HwtKernel>(scale);
+}
+
+} // namespace unimem

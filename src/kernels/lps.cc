@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 3D Laplace solver (GPGPU-Sim suite "lps").
+ *
+ * A 3D stencil marching in z: the current plane is staged in the
+ * scratchpad (19 B/thread); the z-1 and z+1 planes are re-read from
+ * global memory each step. The plane re-reads are what a cache removes
+ * (Table 1: 1.48 / 1.00 / 1.00 - the per-CTA planes are small enough
+ * for 64 KB).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kGridBase = 0;
+constexpr Addr kOutBase = 1ull << 32;
+constexpr u32 kPlanes = 16;
+constexpr u32 kPlaneBytes = 1024; // per-CTA plane slice
+
+class LpsProgram : public StepProgram
+{
+  public:
+    LpsProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kPlanes,
+                      kp.sharedBytesPerCta),
+          base_(kGridBase +
+                static_cast<Addr>(ctx.ctaId) * kPlanes * kPlaneBytes)
+    {
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        Addr plane = base_ + static_cast<Addr>(step) * kPlaneBytes +
+                     ctx().warpInCta * 128;
+        ldGlobal(plane, 4, 4); // center plane
+        stShared(static_cast<Addr>(ctx().warpInCta) * 576, 4, 4);
+        barrier();
+        // The z+1 plane is re-read from global each step (the z-1
+        // plane is still staged in the scratchpad).
+        ldGlobal(plane + kPlaneBytes, 4, 4);
+        ldShared(static_cast<Addr>(ctx().warpInCta) * 576, 4, 4);
+        ldShared(static_cast<Addr>(ctx().warpInCta) * 576 + 4, 4, 4);
+        alu(6, true);
+        stGlobal(kOutBase + (plane - kGridBase), 4, 4);
+        barrier();
+    }
+
+  private:
+    Addr base_;
+};
+
+class LpsKernel : public SyntheticKernel
+{
+  public:
+    explicit LpsKernel(double scale)
+    {
+        params_.name = "lps";
+        params_.regsPerThread = 15;
+        params_.sharedBytesPerCta = 19 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve = SpillCurve();
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<LpsProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeLps(double scale)
+{
+    return std::make_unique<LpsKernel>(scale);
+}
+
+} // namespace unimem

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MUMmerGPU DNA sequence alignment via suffix-tree traversal (Rodinia
+ * "mummergpu" / paper "GPU-mummer").
+ *
+ * Threads stream query strings (coalesced) and walk a shared reference
+ * suffix tree of ~56 KB - almost exactly the baseline 64 KB cache, which
+ * is why the paper sees 1.48 / 1.01 / 1.00 DRAM traffic at 0 / 64 KB /
+ * 256 KB ("a small working set for the input datasets we used"). Tree
+ * node reads are pointer chases; warps traverse together near the root
+ * (broadcast) and no scratchpad is used because the working set is
+ * input-dependent (paper Section 3.2).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kQueryBase = 0;
+constexpr Addr kTreeBase = 1ull << 32;
+constexpr u64 kTreeBytes = 56 * 1024;
+constexpr u32 kQueriesPerWarp = 6;
+constexpr u32 kWalkDepth = 10;
+
+class MummerProgram : public StepProgram
+{
+  public:
+    MummerProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kQueriesPerWarp,
+                      kp.sharedBytesPerCta)
+    {
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        // Stream this query's characters (coalesced; 8B per thread).
+        Addr q_addr = kQueryBase +
+                      (static_cast<Addr>(ctx().ctaId) * ctx().warpsPerCta +
+                       ctx().warpInCta) *
+                          kQueriesPerWarp * kWarpWidth * 8 +
+                      static_cast<Addr>(step) * kWarpWidth * 8;
+        ldGlobal(q_addr, 8, 8);
+        alu(2);
+
+        // Pointer-chase down the tree. The warp stays together (all
+        // lanes at the same node): one 16-byte node per step.
+        u64 node = rng().range(64); // all queries enter near the root
+        for (u32 d = 0; d < kWalkDepth; ++d) {
+            LaneAddrs a{};
+            Addr addr = kTreeBase + (node * 16) % kTreeBytes;
+            for (u32 lane = 0; lane < kWarpWidth; ++lane)
+                a[lane] = addr;
+            ldGlobalIdx(a, 4);
+            alu(6);
+            // Next child: nearby for shallow levels, scattered deeper.
+            node = node * 4 + 1 + rng().range(4) +
+                   (d > 4 ? rng().range(64) : 0);
+        }
+        stGlobal(kQueryBase + (1ull << 31) + q_addr / 2, 4, 4);
+    }
+};
+
+class MummerKernel : public SyntheticKernel
+{
+  public:
+    explicit MummerKernel(double scale)
+    {
+        params_.name = "gpu-mummer";
+        params_.regsPerThread = 21;
+        params_.sharedBytesPerCta = 0;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve = SpillCurve({{18, 1.04}, {24, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<MummerProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeMummer(double scale)
+{
+    return std::make_unique<MummerKernel>(scale);
+}
+
+} // namespace unimem

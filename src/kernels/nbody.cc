@@ -1,0 +1,100 @@
+/**
+ * @file
+ * All-pairs N-body force computation (CUDA SDK "nbody", shared-memory
+ * staging disabled as in the paper's Table 1, which reports zero
+ * scratchpad use).
+ *
+ * Every thread accumulates forces from every body: body j's position is
+ * a warp-wide broadcast read, repeated by every warp in the SM, so a
+ * small cache collapses the redundancy (Table 1: 3.52 without a cache,
+ * flat from 64 KB up - the body array is only ~8 KB).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kPosBase = 0;
+constexpr Addr kOutBase = 1ull << 32;
+constexpr u32 kBodies = 512;
+constexpr u32 kBodiesPerStep = 8;
+
+class NbodyProgram : public StepProgram
+{
+  public:
+    NbodyProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread,
+                      kBodies / kBodiesPerStep + 2, kp.sharedBytesPerCta)
+    {
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        if (step == 0) {
+            // Own position: coalesced 16B per thread.
+            ldGlobal(kPosBase + (1ull << 31) + threadId(0) * 16, 16, 8);
+            alu(2, true);
+            return;
+        }
+        if (step == kBodies / kBodiesPerStep + 1) {
+            stGlobal(kOutBase + threadId(0) * 16, 16, 8);
+            return;
+        }
+
+        // Per-step interaction parameters stream (softening, masses):
+        // fresh coalesced data that dilutes the broadcast redundancy.
+        ldGlobal(kOutBase + (1ull << 30) +
+                     (static_cast<Addr>(step) * (1ull << 20) +
+                      threadId(0)) *
+                         4,
+                 4, 4);
+
+        for (u32 b = 0; b < kBodiesPerStep; ++b) {
+            u32 j = (step - 1) * kBodiesPerStep + b;
+            LaneAddrs a{};
+            for (u32 lane = 0; lane < kWarpWidth; ++lane)
+                a[lane] = kPosBase + static_cast<Addr>(j) * 16;
+            ldGlobalIdx(a, 8);
+            fma(static_cast<RegId>(numRegs() - 1));
+            fma(static_cast<RegId>(numRegs() - 2));
+            fma(static_cast<RegId>(numRegs() - 3));
+        }
+        if (step % 16 == 0)
+            sfu(1); // inverse square root
+    }
+};
+
+class NbodyKernel : public SyntheticKernel
+{
+  public:
+    explicit NbodyKernel(double scale)
+    {
+        params_.name = "nbody";
+        params_.regsPerThread = 23;
+        params_.sharedBytesPerCta = 0;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(8, scale);
+        params_.spillCurve = SpillCurve({{18, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<NbodyProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeNbody(double scale)
+{
+    return std::make_unique<NbodyKernel>(scale);
+}
+
+} // namespace unimem

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Parallel cyclic reduction tridiagonal solver (Zhang/Cohen/Owens
+ * "pcr").
+ *
+ * log2(N) reduction steps stream the three coefficient arrays (a, b, c;
+ * ~384 KB combined) with a stride that doubles each step; every step
+ * re-reads the whole system, so DRAM traffic keeps dropping until the
+ * cache holds all three arrays - the paper's pronounced 256 KB -> 512 KB
+ * knee (Figure 4) and Table 1's 2.88 / 1.29 / 1.00 column. High
+ * register demand (33/thread) with spills below 32 registers.
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kArrayBase = 0;
+constexpr u64 kArrayBytes = 16ull << 20; // each of a, b, c (streamed)
+constexpr u64 kArrayStride = 1ull << 32;
+constexpr u32 kSteps = 9;
+
+class PcrProgram : public StepProgram
+{
+  public:
+    PcrProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kSteps, kp.sharedBytesPerCta)
+    {
+        // Batched solver: every CTA reduces a fresh system, so the
+        // dataset streams (paper: "streams a large dataset").
+        slice_ = static_cast<u64>(ctx.ctaId) * 8192;
+        lane0_ = (static_cast<u64>(ctx.warpInCta) * kWarpWidth) * 4;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        // Reduction distance doubles per step. The i+delta read of step
+        // s is re-read as the i+delta read of step s+1 (it equals
+        // 2*delta of step s), so most reuse is one step apart - a 64KB
+        // cache captures much of it - while the largest strides only
+        // pay off with several hundred KB (Table 1: 2.88/1.29/1.00).
+        u64 delta = (4ull << step) * 4;
+        for (u32 arr = 0; arr < 3; ++arr) {
+            Addr base = kArrayBase + arr * kArrayStride;
+            // i - delta/2 and i + delta were both touched by the
+            // previous level; i + 2*delta is this level's fresh reach.
+            u64 off0 = (slice_ + lane0_ + delta / 2) % kArrayBytes;
+            ldGlobal(base + off0, 4, 4);
+            u64 off = (slice_ + lane0_ + delta) % kArrayBytes;
+            ldGlobal(base + off, 4, 4);
+            u64 off2 = (slice_ + lane0_ + 2 * delta) % kArrayBytes;
+            ldGlobal(base + off2, 4, 4);
+            alu(6, true);
+        }
+        sfu(2); // reciprocals in the reduction formula
+        // Read-modify-write of the warp's own system slice: re-read
+        // every step, so any reasonable cache captures it.
+        ldGlobal(kArrayBase + (slice_ + lane0_) % kArrayBytes, 4, 4);
+        alu(1, true);
+        stGlobal(kArrayBase + (slice_ + lane0_) % kArrayBytes, 4, 4);
+
+        // Small scratchpad exchange between reduction levels.
+        stShared(static_cast<Addr>(ctx().warpInCta) * 512, 4, 4);
+        barrier();
+        ldShared(static_cast<Addr>(ctx().warpInCta) * 512, 4, 4);
+        alu(2, true);
+    }
+
+  private:
+    u64 slice_ = 0;
+    u64 lane0_ = 0;
+};
+
+class PcrKernel : public SyntheticKernel
+{
+  public:
+    explicit PcrKernel(double scale)
+    {
+        params_.name = "pcr";
+        params_.regsPerThread = 33;
+        params_.sharedBytesPerCta = 20 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve =
+            SpillCurve({{18, 1.39}, {24, 1.18}, {32, 1.03}, {40, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<PcrProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makePcr(double scale)
+{
+    return std::make_unique<PcrKernel>(scale);
+}
+
+} // namespace unimem

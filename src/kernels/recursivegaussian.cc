@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Recursive Gaussian blur (CUDA SDK "recursiveGaussian").
+ *
+ * A column-parallel IIR filter: the forward pass streams rows down the
+ * image band, the short backward pass re-reads the most recent quarter.
+ * The modest re-read (Table 1: 1.04 / 1.03 / 1.00) is captured by any
+ * reasonable cache.
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kImgBase = 0;
+constexpr Addr kOutBase = 1ull << 32;
+constexpr u32 kRows = 24;
+constexpr u32 kRowBytes = 1024;
+
+class RecGaussProgram : public StepProgram
+{
+  public:
+    RecGaussProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kRows + kRows / 4,
+                      kp.sharedBytesPerCta),
+          band_(kImgBase +
+                static_cast<Addr>(ctx.ctaId) * kRows * kRowBytes)
+    {
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        bool backward = step >= kRows;
+        u32 row = backward ? kRows - 1 - (step - kRows) : step;
+        Addr addr = band_ + static_cast<Addr>(row) * kRowBytes +
+                    ctx().warpInCta * 128;
+        ldGlobal(addr, 4, 4);
+        alu(7, true); // recursive filter taps carry state in registers
+        stGlobal(kOutBase + (addr - kImgBase), 4, 4);
+        if (step % 8 == 3) {
+            stShared(static_cast<Addr>(ctx().warpInCta) * 64, 4, 4, laneMask(16));
+            barrier();
+        }
+    }
+
+  private:
+    Addr band_;
+};
+
+class RecGaussKernel : public SyntheticKernel
+{
+  public:
+    explicit RecGaussKernel(double scale)
+    {
+        params_.name = "recursivegaussian";
+        params_.regsPerThread = 23;
+        params_.sharedBytesPerCta = 544;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve = SpillCurve({{18, 1.02}, {24, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<RecGaussProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeRecursiveGaussian(double scale)
+{
+    return std::make_unique<RecGaussKernel>(scale);
+}
+
+} // namespace unimem

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Benchmark registry: metadata for every Table 1 workload (category,
+ * paper reference numbers used by the harnesses and tests) and a factory
+ * keyed by name.
+ */
+
+#ifndef UNIMEM_KERNELS_REGISTRY_HH
+#define UNIMEM_KERNELS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/kernel_model.hh"
+
+namespace unimem {
+
+/** Paper Table 1 categories. */
+enum class WorkloadCategory : u8
+{
+    SharedLimited,
+    CacheLimited,
+    RegisterLimited,
+    Balanced,
+};
+
+const char* categoryName(WorkloadCategory c);
+
+/** Registry entry with the paper's reference characterization. */
+struct BenchmarkInfo
+{
+    const char* name;
+    WorkloadCategory category;
+
+    /** In the paper's Figure 9 "benefits from unified memory" set. */
+    bool benefits;
+
+    /** Table 1 column 2: registers/thread to eliminate spills. */
+    u32 paperRegs;
+
+    /** Table 1 column 9: scratchpad bytes per thread. */
+    double paperSharedPerThread;
+
+    /** Table 1 columns 10-12: normalized DRAM accesses at 0/64K/256K. */
+    double paperDramNone;
+    double paperDram64k;
+    double paperDram256k;
+};
+
+/** All 26 Table 1 benchmarks in paper order. */
+const std::vector<BenchmarkInfo>& allBenchmarks();
+
+/** Lookup by name; nullptr if unknown. */
+const BenchmarkInfo* findBenchmark(const std::string& name);
+
+/** Names of the paper's Figure 9 (benefit) set. */
+std::vector<std::string> benefitBenchmarkNames();
+
+/** Names of the paper's Figure 7 (no-benefit) set. */
+std::vector<std::string> noBenefitBenchmarkNames();
+
+/**
+ * Instantiate a benchmark by registry name; fatal() on unknown names.
+ * Needle uses its default blocking factor of 32 (see makeNeedle for
+ * other blocking factors).
+ */
+std::unique_ptr<KernelModel> createBenchmark(const std::string& name,
+                                             double scale = 1.0);
+
+} // namespace unimem
+
+#endif // UNIMEM_KERNELS_REGISTRY_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sum-of-absolute-differences motion estimation (Parboil "sad").
+ *
+ * Streams the current-frame macroblock and reference-frame candidates
+ * (both coalesced) through absolute-difference reductions. Pure
+ * streaming: DRAM traffic is cache-insensitive (Table 1: 1.01 / 1.01 /
+ * 1.00). Moderately register heavy (31/thread) for the candidate
+ * offsets and partial sums.
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kCurBase = 0;
+constexpr Addr kRefBase = 1ull << 32;
+constexpr Addr kSadBase = 2ull << 32;
+constexpr u32 kCandidates = 24;
+
+class SadProgram : public StepProgram
+{
+  public:
+    SadProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kCandidates,
+                      kp.sharedBytesPerCta)
+    {
+        warpGid_ = static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                   ctx.warpInCta;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        Addr cur = kCurBase +
+                   (warpGid_ * kCandidates + step) * kWarpWidth * 4;
+        Addr ref = kRefBase +
+                   (warpGid_ * kCandidates + step) * kWarpWidth * 4;
+        ldGlobal(cur, 4, 4);
+        ldGlobal(ref, 4, 4);
+        alu(4); // abs-diff + accumulate
+        fma(static_cast<RegId>(numRegs() - 1 - step % 8), false);
+        if (step % 6 == 5)
+            stGlobal(kSadBase + (warpGid_ * kCandidates + step) * 4, 4,
+                     4);
+    }
+
+  private:
+    Addr warpGid_ = 0;
+};
+
+class SadKernel : public SyntheticKernel
+{
+  public:
+    explicit SadKernel(double scale)
+    {
+        params_.name = "sad";
+        params_.regsPerThread = 31;
+        params_.sharedBytesPerCta = 0;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(32, scale);
+        params_.spillCurve = SpillCurve({{18, 1.01}, {24, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<SadProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeSad(double scale)
+{
+    return std::make_unique<SadKernel>(scale);
+}
+
+} // namespace unimem

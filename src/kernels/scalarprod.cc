@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Batched dot products (CUDA SDK "scalarProd").
+ *
+ * Two input vectors stream through fused multiply-adds; partial sums
+ * reduce through the scratchpad (16 B/thread) every few chunks. Pure
+ * streaming, cache-insensitive (Table 1: 1.00 / 1.00 / 1.00).
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kABase = 0;
+constexpr Addr kBBase = 1ull << 32;
+constexpr Addr kOutBase = 2ull << 32;
+constexpr u32 kChunks = 24;
+
+class ScalarProdProgram : public StepProgram
+{
+  public:
+    ScalarProdProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kChunks, kp.sharedBytesPerCta)
+    {
+        warpGid_ = static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                   ctx.warpInCta;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        Addr off = (warpGid_ * kChunks + step) * kWarpWidth * 4;
+        ldGlobal(kABase + off, 4, 4);
+        ldGlobal(kBBase + off, 4, 4);
+        fma(static_cast<RegId>(numRegs() - 1));
+        alu(1, true);
+
+        if (step % 8 == 7) {
+            // Tree reduction through the scratchpad.
+            stShared(static_cast<Addr>(ctx().warpInCta) * 512, 4, 4);
+            barrier();
+            ldShared(static_cast<Addr>(ctx().warpInCta) * 512, 8, 4);
+            alu(2, true);
+            stGlobal(kOutBase + (warpGid_ * 32 + step) * 4, 4, 4);
+        }
+    }
+
+  private:
+    Addr warpGid_ = 0;
+};
+
+class ScalarProdKernel : public SyntheticKernel
+{
+  public:
+    explicit ScalarProdKernel(double scale)
+    {
+        params_.name = "scalarprod";
+        params_.regsPerThread = 18;
+        params_.sharedBytesPerCta = 16 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(32, scale);
+        params_.spillCurve = SpillCurve({{18, 1.01}, {24, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<ScalarProdProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeScalarProd(double scale)
+{
+    return std::make_unique<ScalarProdKernel>(scale);
+}
+
+} // namespace unimem

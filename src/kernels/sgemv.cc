@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Single-precision matrix-vector multiply (MAGMA "sgemv").
+ *
+ * The matrix streams through once row by row while the small x vector
+ * (4 KB) is re-read per row; the vector fits in any cache (Table 1:
+ * 1.01 / 1.01 / 1.00). Light register (14) and scratchpad (4 B/thread)
+ * use.
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kMatBase = 0;
+constexpr Addr kVecBase = 1ull << 32;
+constexpr Addr kOutBase = 2ull << 32;
+constexpr u64 kVecBytes = 4 * 1024;
+constexpr u32 kRows = 24;
+
+class SgemvProgram : public StepProgram
+{
+  public:
+    SgemvProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kRows, kp.sharedBytesPerCta)
+    {
+        warpGid_ = static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                   ctx.warpInCta;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        // Fresh matrix row slice (dominant stream).
+        Addr m = kMatBase + (warpGid_ * kRows + step) * kWarpWidth * 8;
+        ldGlobal(m, 4, 4);
+        ldGlobal(m + kWarpWidth * 4, 4, 4);
+        // x element: broadcast, re-read by every warp.
+        LaneAddrs x{};
+        Addr xa = kVecBase + (static_cast<Addr>(step) * 128) % kVecBytes;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            x[lane] = xa;
+        ldGlobalIdx(x, 4);
+        fma(static_cast<RegId>(numRegs() - 1));
+        alu(1, true);
+        if (step % 12 == 11) {
+            stShared(static_cast<Addr>(ctx().warpInCta) * 128, 4, 4);
+            barrier();
+            stGlobal(kOutBase + warpGid_ * 8, 4, 4);
+        }
+    }
+
+  private:
+    Addr warpGid_ = 0;
+};
+
+class SgemvKernel : public SyntheticKernel
+{
+  public:
+    explicit SgemvKernel(double scale)
+    {
+        params_.name = "sgemv";
+        params_.regsPerThread = 14;
+        params_.sharedBytesPerCta = 4 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve = SpillCurve();
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<SgemvProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeSgemv(double scale)
+{
+    return std::make_unique<SgemvKernel>(scale);
+}
+
+} // namespace unimem

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sobol quasi-random number generation (CUDA SDK "SobolQRNG").
+ *
+ * Mostly integer bit manipulation against a 1 KB direction-vector table
+ * (read once per dimension) followed by coalesced output stores -
+ * compute/store bound and fully cache-insensitive (Table 1: 1.00 / 1.00
+ * / 1.00) with tiny register/scratchpad needs.
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kDirBase = 0;
+constexpr Addr kOutBase = 1ull << 32;
+constexpr u32 kDraws = 32;
+
+class SobolProgram : public StepProgram
+{
+  public:
+    SobolProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kDraws, kp.sharedBytesPerCta)
+    {
+        warpGid_ = static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                   ctx.warpInCta;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        if (step % 8 == 0) {
+            // Direction vector for the next bit position: broadcast.
+            LaneAddrs d{};
+            Addr da = kDirBase + (static_cast<Addr>(step) * 16) % 1024;
+            for (u32 lane = 0; lane < kWarpWidth; ++lane)
+                d[lane] = da;
+            ldGlobalIdx(d, 4);
+        }
+        alu(5); // gray-code / xor update chain
+        stGlobal(kOutBase + (warpGid_ * kDraws + step) * kWarpWidth * 4,
+                 4, 4);
+    }
+
+  private:
+    Addr warpGid_ = 0;
+};
+
+class SobolKernel : public SyntheticKernel
+{
+  public:
+    explicit SobolKernel(double scale)
+    {
+        params_.name = "sobolqrng";
+        params_.regsPerThread = 12;
+        params_.sharedBytesPerCta = 2 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(32, scale);
+        params_.spillCurve = SpillCurve();
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<SobolProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeSobolQrng(double scale)
+{
+    return std::make_unique<SobolKernel>(scale);
+}
+
+} // namespace unimem

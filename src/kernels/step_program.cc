@@ -1,0 +1,246 @@
+#include "kernels/step_program.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+StepProgram::StepProgram(const WarpCtx& ctx, u32 numRegs, u32 numSteps,
+                         u32 sharedBytesPerCta)
+    : ctx_(ctx), numRegs_(numRegs), numSteps_(numSteps),
+      sharedBase_(static_cast<Addr>(ctx.ctaId) * sharedBytesPerCta),
+      rng_(ctx.seed * 0x9e3779b97f4a7c15ull + ctx.ctaId * 1000003ull +
+           ctx.warpInCta * 7919ull + 1)
+{
+    if (numRegs_ == 0)
+        fatal("StepProgram: zero register budget");
+}
+
+bool
+StepProgram::fill(std::vector<WarpInstr>& buf)
+{
+    if (step_ >= numSteps_)
+        return false;
+    buf_ = &buf;
+    emitStep(step_++);
+    buf_ = nullptr;
+    return true;
+}
+
+RegId
+StepProgram::nextReg()
+{
+    RegId r = static_cast<RegId>(rot_ % numRegs_);
+    ++rot_;
+    last_ = r;
+    recent_[recentPos_ % recent_.size()] = r;
+    ++recentPos_;
+    return r;
+}
+
+RegId
+StepProgram::randomReg()
+{
+    return static_cast<RegId>(rng_.range(numRegs_));
+}
+
+RegId
+StepProgram::recentReg()
+{
+    u32 n = std::min<u32>(recentPos_, static_cast<u32>(recent_.size()));
+    if (n == 0)
+        return 0;
+    return recent_[rng_.range(n)];
+}
+
+WarpInstr&
+StepProgram::append(Opcode op, RegId dst, u32 mask)
+{
+    buf_->emplace_back();
+    WarpInstr& in = buf_->back();
+    in.op = op;
+    in.dst = dst;
+    in.activeMask = mask;
+    return in;
+}
+
+void
+StepProgram::alu(u32 count, bool fp, double recentFrac)
+{
+    for (u32 i = 0; i < count; ++i) {
+        RegId s0 = last_;
+        RegId s1 = rng_.chance(recentFrac) ? recentReg() : randomReg();
+        s1 = avoidBankOf(s1, s0);
+        RegId d = nextReg();
+        WarpInstr& in =
+            append(fp ? Opcode::FpAlu : Opcode::IntAlu, d, kFullMask);
+        in.src[0] = s0;
+        in.src[1] = s1;
+        in.numSrc = 2;
+    }
+}
+
+RegId
+StepProgram::avoidBankOf(RegId r, RegId other)
+{
+    // Real compilers allocate the operands of one instruction to
+    // different MRF banks (paper Section 2.1 / [27]); model that with a
+    // high success rate, leaving a residue of unavoidable conflicts.
+    if (r % kBanksPerCluster == other % kBanksPerCluster &&
+        rng_.chance(0.9))
+        return static_cast<RegId>((r + 1) % numRegs_);
+    return r;
+}
+
+void
+StepProgram::fma(RegId acc, bool fp)
+{
+    RegId s1 = avoidBankOf(last_, acc);
+    RegId s2 = avoidBankOf(recentReg(), acc);
+    s2 = avoidBankOf(s2, s1);
+    WarpInstr& in =
+        append(fp ? Opcode::FpAlu : Opcode::IntAlu, acc, kFullMask);
+    in.src[0] = acc;
+    in.src[1] = s1;
+    in.src[2] = s2;
+    in.numSrc = 3;
+    last_ = acc;
+}
+
+void
+StepProgram::sfu(u32 count)
+{
+    for (u32 i = 0; i < count; ++i) {
+        RegId s0 = last_;
+        RegId d = nextReg();
+        WarpInstr& in = append(Opcode::Sfu, d, kFullMask);
+        in.src[0] = s0;
+        in.numSrc = 1;
+    }
+}
+
+void
+StepProgram::barrier()
+{
+    append(Opcode::Bar, kInvalidReg, kFullMask);
+}
+
+LaneAddrs
+StepProgram::strideAddrs(Addr base, i64 stride) const
+{
+    LaneAddrs a{};
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        a[lane] = base + static_cast<Addr>(static_cast<i64>(lane) * stride);
+    return a;
+}
+
+RegId
+StepProgram::emitAddrCompute()
+{
+    // GPU codegen computes the effective address with an integer op
+    // right before the access, so the address register is the last
+    // result (LRF) even straight after a deschedule point.
+    RegId s0 = last_;
+    RegId s1 = avoidBankOf(recentReg(), s0);
+    RegId d = nextReg();
+    WarpInstr& in = append(Opcode::IntAlu, d, kFullMask);
+    in.src[0] = s0;
+    in.src[1] = s1;
+    in.numSrc = 2;
+    return d;
+}
+
+RegId
+StepProgram::emitLoad(Opcode op, const LaneAddrs& addrs, u8 bytes, u32 mask)
+{
+    RegId addr_reg = emitAddrCompute();
+    RegId d = nextReg();
+    WarpInstr& in = append(op, d, mask);
+    in.src[0] = addr_reg;
+    in.numSrc = 1;
+    in.accessBytes = bytes;
+    in.addr = addrs;
+    return d;
+}
+
+void
+StepProgram::emitStore(Opcode op, const LaneAddrs& addrs, u8 bytes,
+                       u32 mask)
+{
+    RegId data_reg = last_;
+    RegId addr_reg = emitAddrCompute();
+    WarpInstr& in = append(op, kInvalidReg, mask);
+    in.src[0] = addr_reg;
+    in.src[1] = avoidBankOf(data_reg, addr_reg); // store data
+    in.numSrc = 2;
+    in.accessBytes = bytes;
+    in.addr = addrs;
+}
+
+RegId
+StepProgram::ldGlobal(Addr base, i64 laneStride, u8 bytes, u32 mask)
+{
+    return emitLoad(Opcode::LdGlobal, strideAddrs(base, laneStride), bytes,
+                    mask);
+}
+
+RegId
+StepProgram::ldGlobalIdx(const LaneAddrs& addrs, u8 bytes, u32 mask)
+{
+    return emitLoad(Opcode::LdGlobal, addrs, bytes, mask);
+}
+
+void
+StepProgram::stGlobal(Addr base, i64 laneStride, u8 bytes, u32 mask)
+{
+    emitStore(Opcode::StGlobal, strideAddrs(base, laneStride), bytes, mask);
+}
+
+void
+StepProgram::stGlobalIdx(const LaneAddrs& addrs, u8 bytes, u32 mask)
+{
+    emitStore(Opcode::StGlobal, addrs, bytes, mask);
+}
+
+RegId
+StepProgram::ldShared(Addr ctaOffset, i64 laneStride, u8 bytes, u32 mask)
+{
+    return emitLoad(Opcode::LdShared,
+                    strideAddrs(sharedBase_ + ctaOffset, laneStride), bytes,
+                    mask);
+}
+
+RegId
+StepProgram::ldSharedIdx(const LaneAddrs& ctaOffsets, u8 bytes, u32 mask)
+{
+    LaneAddrs a = ctaOffsets;
+    for (Addr& v : a)
+        v += sharedBase_;
+    return emitLoad(Opcode::LdShared, a, bytes, mask);
+}
+
+void
+StepProgram::stShared(Addr ctaOffset, i64 laneStride, u8 bytes, u32 mask)
+{
+    emitStore(Opcode::StShared,
+              strideAddrs(sharedBase_ + ctaOffset, laneStride), bytes,
+              mask);
+}
+
+void
+StepProgram::stSharedIdx(const LaneAddrs& ctaOffsets, u8 bytes, u32 mask)
+{
+    LaneAddrs a = ctaOffsets;
+    for (Addr& v : a)
+        v += sharedBase_;
+    emitStore(Opcode::StShared, a, bytes, mask);
+}
+
+RegId
+StepProgram::texFetch(const LaneAddrs& addrs, u8 bytes, u32 mask)
+{
+    return emitLoad(Opcode::Tex, addrs, bytes, mask);
+}
+
+} // namespace unimem

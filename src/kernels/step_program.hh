@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Base class for synthetic warp-trace generators.
+ *
+ * A StepProgram produces its trace one "step" at a time (typically one
+ * loop iteration of the modeled kernel), using emission helpers that
+ * maintain a realistic register dataflow pattern: destinations rotate
+ * through the kernel's register budget, most ALU sources are recent
+ * values (which the LRF/ORF hierarchy captures), and a configurable
+ * fraction are long-lived values that must come from the MRF.
+ */
+
+#ifndef UNIMEM_KERNELS_STEP_PROGRAM_HH
+#define UNIMEM_KERNELS_STEP_PROGRAM_HH
+
+#include <array>
+
+#include "arch/gpu_constants.hh"
+#include "arch/warp_program.hh"
+#include "common/rng.hh"
+
+namespace unimem {
+
+/** All 32 lanes active. */
+constexpr u32 kFullMask = 0xffffffffu;
+
+/** Mask with the low @p n lanes active. */
+constexpr u32
+laneMask(u32 n)
+{
+    return n >= kWarpWidth ? kFullMask : ((1u << n) - 1u);
+}
+
+/** Per-lane address vector. */
+using LaneAddrs = std::array<Addr, kWarpWidth>;
+
+/** Step-wise warp trace generator with register-pattern helpers. */
+class StepProgram : public WarpProgram
+{
+  public:
+    bool fill(std::vector<WarpInstr>& buf) final;
+
+  protected:
+    /**
+     * @param ctx warp identity
+     * @param numRegs the kernel's no-spill register budget; emitted
+     *        register ids stay below this
+     * @param numSteps number of emitStep() calls before the trace ends
+     * @param sharedBytesPerCta used to place this CTA's scratchpad region
+     */
+    StepProgram(const WarpCtx& ctx, u32 numRegs, u32 numSteps,
+                u32 sharedBytesPerCta);
+
+    /** Emit one step of the trace (append via the helpers below). */
+    virtual void emitStep(u32 step) = 0;
+
+    const WarpCtx& ctx() const { return ctx_; }
+    Rng& rng() { return rng_; }
+    u32 numRegs() const { return numRegs_; }
+
+    /** Base address of this CTA's scratchpad allocation. */
+    Addr sharedBase() const { return sharedBase_; }
+
+    /** Global thread id of lane @p lane. */
+    u64
+    threadId(u32 lane) const
+    {
+        return ctx_.firstThread() + lane;
+    }
+
+    // ---- register helpers -------------------------------------------
+
+    /** Most recently written register. */
+    RegId lastReg() const { return last_; }
+
+    /** Next rotating destination register. */
+    RegId nextReg();
+
+    /** Uniformly random register id below the budget. */
+    RegId randomReg();
+
+    /**
+     * One of the last few written registers (likely still in the ORF).
+     */
+    RegId recentReg();
+
+    // ---- emission helpers -------------------------------------------
+
+    /**
+     * Emit @p count ALU ops. Each reads the last result plus a second
+     * source that is recent with probability @p recentFrac (long-lived
+     * MRF values otherwise).
+     */
+    void alu(u32 count = 1, bool fp = false, double recentFrac = 0.7);
+
+    /** Fused multiply-add into a fixed accumulator register. */
+    void fma(RegId acc, bool fp = true);
+
+    void sfu(u32 count = 1);
+
+    void barrier();
+
+    /** Load with per-lane addresses base + lane * stride. */
+    RegId ldGlobal(Addr base, i64 laneStride, u8 bytes = 4,
+                   u32 mask = kFullMask);
+
+    /** Load with explicit per-lane addresses. */
+    RegId ldGlobalIdx(const LaneAddrs& addrs, u8 bytes = 4,
+                      u32 mask = kFullMask);
+
+    void stGlobal(Addr base, i64 laneStride, u8 bytes = 4,
+                  u32 mask = kFullMask);
+
+    void stGlobalIdx(const LaneAddrs& addrs, u8 bytes = 4,
+                     u32 mask = kFullMask);
+
+    /** Scratchpad load at CTA-relative offset + lane * stride. */
+    RegId ldShared(Addr ctaOffset, i64 laneStride, u8 bytes = 4,
+                   u32 mask = kFullMask);
+
+    RegId ldSharedIdx(const LaneAddrs& ctaOffsets, u8 bytes = 4,
+                      u32 mask = kFullMask);
+
+    void stShared(Addr ctaOffset, i64 laneStride, u8 bytes = 4,
+                  u32 mask = kFullMask);
+
+    void stSharedIdx(const LaneAddrs& ctaOffsets, u8 bytes = 4,
+                     u32 mask = kFullMask);
+
+    /** Texture fetch with explicit per-lane addresses. */
+    RegId texFetch(const LaneAddrs& addrs, u8 bytes = 4,
+                   u32 mask = kFullMask);
+
+  private:
+    WarpInstr& append(Opcode op, RegId dst, u32 mask);
+    RegId avoidBankOf(RegId r, RegId other);
+    RegId emitAddrCompute();
+    RegId emitLoad(Opcode op, const LaneAddrs& addrs, u8 bytes, u32 mask);
+    void emitStore(Opcode op, const LaneAddrs& addrs, u8 bytes, u32 mask);
+    LaneAddrs strideAddrs(Addr base, i64 stride) const;
+
+    WarpCtx ctx_;
+    u32 numRegs_;
+    u32 numSteps_;
+    u32 step_ = 0;
+    Addr sharedBase_;
+
+    std::vector<WarpInstr>* buf_ = nullptr;
+    Rng rng_;
+
+    u32 rot_ = 0;
+    RegId last_ = 0;
+    std::array<RegId, 4> recent_{0, 0, 0, 0};
+    u32 recentPos_ = 0;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_KERNELS_STEP_PROGRAM_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * StoreGPU sliding-window hashing (GPGPU-Sim suite "sto").
+ *
+ * Each thread hashes overlapping windows of its input chunk: four
+ * overlapping loads shifted by 4 bytes bring the chunk in (a small cache
+ * filters the ~4x redundancy, Table 1: 3.95 without a cache), the chunk
+ * is staged in the scratchpad (127 bytes per thread - shared-memory
+ * limited), and many rounds of scratchpad reads feed the hash rounds.
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kInputBase = 0;
+constexpr Addr kDigestBase = 1ull << 32;
+constexpr u32 kHashRounds = 30;
+
+class StoProgram : public StepProgram
+{
+  public:
+    StoProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, 2 + kHashRounds,
+                      kp.sharedBytesPerCta),
+          warpShared_(static_cast<Addr>(ctx.warpInCta) * kWarpWidth * 127)
+    {
+        chunkBase_ = kInputBase +
+                     (static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                      ctx.warpInCta) *
+                         kWarpWidth * 16;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        if (step == 0) {
+            // Four overlapping window loads: each covers the same 512B
+            // chunk shifted by 4 bytes.
+            for (u32 k = 0; k < 4; ++k) {
+                ldGlobal(chunkBase_ + k * 4, 16, 4);
+                stShared(warpShared_ + k * kWarpWidth * 4, 4, 4);
+            }
+            barrier();
+        } else if (step <= kHashRounds) {
+            u32 r = step - 1;
+            ldShared(warpShared_ + (r % 4) * kWarpWidth * 4, 4, 4);
+            ldShared(warpShared_ + ((r + 1) % 4) * kWarpWidth * 4, 4, 4);
+            alu(6);
+        } else {
+            stGlobal(kDigestBase + chunkBase_ / 4, 4, 4);
+        }
+    }
+
+  private:
+    Addr warpShared_;
+    Addr chunkBase_ = 0;
+};
+
+class StoKernel : public SyntheticKernel
+{
+  public:
+    explicit StoKernel(double scale)
+    {
+        params_.name = "sto";
+        params_.regsPerThread = 33;
+        params_.sharedBytesPerCta = 127 * 256;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(24, scale);
+        params_.spillCurve =
+            SpillCurve({{18, 1.18}, {24, 1.08}, {32, 1.0}});
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<StoProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeSto(double scale)
+{
+    return std::make_unique<StoKernel>(scale);
+}
+
+} // namespace unimem

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Element-wise vector addition (CUDA SDK "vectorAdd").
+ *
+ * Each thread processes four consecutive elements, so one warp
+ * instruction touches every fourth word of four cache lines and the same
+ * four lines are revisited by the next three iterations. A small cache
+ * therefore fetches each line once while the cache-less design re-reads
+ * the partially-touched sectors on every pass (Table 1: 3.88 without a
+ * cache, flat at and beyond 64 KB). Minimal registers (9), no
+ * scratchpad.
+ */
+
+#include "kernels/step_program.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+
+namespace {
+
+constexpr Addr kABase = 0;
+constexpr Addr kBBase = 1ull << 32;
+constexpr Addr kCBase = 2ull << 32;
+constexpr u32 kGroups = 16;       // element groups per thread
+constexpr u32 kElemsPerGroup = 4; // consecutive elements per thread
+
+class VectorAddProgram : public StepProgram
+{
+  public:
+    VectorAddProgram(const WarpCtx& ctx, const KernelParams& kp)
+        : StepProgram(ctx, kp.regsPerThread, kGroups * kElemsPerGroup,
+                      kp.sharedBytesPerCta)
+    {
+        warpGid_ = static_cast<Addr>(ctx.ctaId) * ctx.warpsPerCta +
+                   ctx.warpInCta;
+    }
+
+  protected:
+    void
+    emitStep(u32 step) override
+    {
+        u32 group = step / kElemsPerGroup;
+        u32 j = step % kElemsPerGroup;
+        // Grid-stride mapping: concurrent warps cover consecutive 512B
+        // regions of each pass. Warp lanes stride 16B and revisit the
+        // same four lines for j = 0..3.
+        Addr off = (static_cast<Addr>(group) * 1024 + warpGid_) *
+                       (kWarpWidth * kElemsPerGroup * 4) +
+                   static_cast<Addr>(j) * 4;
+        ldGlobal(kABase + off, 16, 4);
+        ldGlobal(kBBase + off, 16, 4);
+        alu(2, true);
+        stGlobal(kCBase + off, 16, 4);
+    }
+
+  private:
+    Addr warpGid_ = 0;
+};
+
+class VectorAddKernel : public SyntheticKernel
+{
+  public:
+    explicit VectorAddKernel(double scale)
+    {
+        params_.name = "vectoradd";
+        params_.regsPerThread = 9;
+        params_.sharedBytesPerCta = 0;
+        params_.ctaThreads = 256;
+        params_.gridCtas = scaledCtas(48, scale);
+        params_.spillCurve = SpillCurve();
+    }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<VectorAddProgram>(ctx, params_);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<KernelModel>
+makeVectorAdd(double scale)
+{
+    return std::make_unique<VectorAddKernel>(scale);
+}
+
+} // namespace unimem

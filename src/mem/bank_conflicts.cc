@@ -1,0 +1,20 @@
+#include "mem/bank_conflicts.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+const char*
+ConflictHistogram::bucketName(u32 b)
+{
+    switch (b) {
+      case 0: return "<=1";
+      case 1: return "2";
+      case 2: return "3";
+      case 3: return "4";
+      case 4: return ">4";
+    }
+    panic("ConflictHistogram: bad bucket %u", b);
+}
+
+} // namespace unimem

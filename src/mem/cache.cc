@@ -1,0 +1,165 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+DataCache::DataCache(u64 capacityBytes, u32 assoc, WritePolicy policy)
+    : capacityBytes_(capacityBytes), assoc_(assoc), policy_(policy)
+{
+    if (assoc_ == 0)
+        fatal("DataCache: zero associativity");
+    if (capacityBytes_ == 0) {
+        numSets_ = 0;
+        return;
+    }
+    u64 lines = capacityBytes_ / kCacheLineBytes;
+    if (lines == 0)
+        fatal("DataCache: capacity %llu smaller than one line",
+              static_cast<unsigned long long>(capacityBytes_));
+    if (lines < assoc_)
+        assoc_ = static_cast<u32>(lines);
+    // The unified allocator hands the cache arbitrary leftovers (e.g.
+    // 88KB), so sets are not restricted to powers of two; a modulo
+    // index keeps all capacity usable.
+    numSets_ = static_cast<u32>(lines / assoc_);
+    assoc_ = static_cast<u32>(lines / numSets_);
+    ways_.assign(static_cast<size_t>(numSets_) * assoc_, Way{});
+}
+
+u32
+DataCache::setIndex(Addr lineAddr) const
+{
+    u64 lineNum = lineAddr / kCacheLineBytes;
+    // Plain modulo indexing: the set count is rarely a power of two
+    // (the allocator hands the cache arbitrary leftovers), which
+    // already de-correlates power-of-two strides.
+    return static_cast<u32>(lineNum % numSets_);
+}
+
+DataCache::Way*
+DataCache::findWay(Addr lineAddr)
+{
+    u32 set = setIndex(lineAddr);
+    Way* base = &ways_[static_cast<size_t>(set) * assoc_];
+    for (u32 w = 0; w < assoc_; ++w)
+        if (base[w].valid && base[w].tag == lineAddr)
+            return &base[w];
+    return nullptr;
+}
+
+const DataCache::Way*
+DataCache::findWay(Addr lineAddr) const
+{
+    return const_cast<DataCache*>(this)->findWay(lineAddr);
+}
+
+bool
+DataCache::read(Addr lineAddr)
+{
+    if (!enabled()) {
+        ++stats_.readMisses;
+        return false;
+    }
+    if (Way* w = findWay(lineAddr)) {
+        w->lastUse = ++useClock_;
+        ++stats_.readHits;
+        return true;
+    }
+    ++stats_.readMisses;
+    return false;
+}
+
+bool
+DataCache::write(Addr lineAddr)
+{
+    if (!enabled()) {
+        ++stats_.writeMisses;
+        return false;
+    }
+    if (Way* w = findWay(lineAddr)) {
+        w->lastUse = ++useClock_;
+        if (policy_ == WritePolicy::WriteBack)
+            w->dirty = true;
+        ++stats_.writeHits;
+        return true;
+    }
+    ++stats_.writeMisses;
+    return false;
+}
+
+void
+DataCache::markDirty(Addr lineAddr)
+{
+    if (policy_ != WritePolicy::WriteBack)
+        panic("DataCache: markDirty on a write-through cache");
+    if (Way* w = findWay(lineAddr))
+        w->dirty = true;
+}
+
+bool
+DataCache::fill(Addr lineAddr)
+{
+    if (!enabled())
+        return false;
+    if (findWay(lineAddr) != nullptr)
+        return false; // already present (e.g. duplicate outstanding miss)
+    u32 set = setIndex(lineAddr);
+    Way* base = &ways_[static_cast<size_t>(set) * assoc_];
+    Way* victim = &base[0];
+    for (u32 w = 0; w < assoc_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    bool dirty_evicted = victim->valid && victim->dirty;
+    if (dirty_evicted)
+        ++stats_.dirtyEvictions;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->tag = lineAddr;
+    victim->lastUse = ++useClock_;
+    ++stats_.fills;
+    return dirty_evicted;
+}
+
+bool
+DataCache::contains(Addr lineAddr) const
+{
+    return enabled() && findWay(lineAddr) != nullptr;
+}
+
+bool
+DataCache::isDirty(Addr lineAddr) const
+{
+    const Way* w = findWay(lineAddr);
+    return w != nullptr && w->dirty;
+}
+
+u64
+DataCache::dirtyLineCount() const
+{
+    u64 n = 0;
+    for (const Way& w : ways_)
+        if (w.valid && w.dirty)
+            ++n;
+    return n;
+}
+
+u64
+DataCache::invalidateAll()
+{
+    u64 dirty = 0;
+    for (auto& w : ways_) {
+        if (w.valid && w.dirty)
+            ++dirty;
+        w.valid = false;
+        w.dirty = false;
+    }
+    return dirty;
+}
+
+} // namespace unimem

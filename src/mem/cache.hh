@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Primary data cache model: set-associative, 128-byte lines, LRU,
+ * single-ported tag array (one tag lookup per cycle, paper Sections 2.1
+ * and 4.3).
+ *
+ * The paper's design is write-through with no write-allocate, which is
+ * what makes per-kernel repartitioning free (no dirty data to drain,
+ * Section 4.4). A write-back write-allocate mode is provided as the
+ * design-choice ablation: it tracks dirty lines, reports dirty
+ * evictions, and makes reconfiguration pay a flush.
+ *
+ * The cache is a pure tag model — the simulator is trace driven, so no
+ * data is stored. Capacity zero is a valid configuration meaning "no
+ * cache" (every access misses and goes to DRAM at sector granularity).
+ */
+
+#ifndef UNIMEM_MEM_CACHE_HH
+#define UNIMEM_MEM_CACHE_HH
+
+#include <vector>
+
+#include "arch/gpu_constants.hh"
+#include "common/types.hh"
+
+namespace unimem {
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    u64 readHits = 0;
+    u64 readMisses = 0;
+    u64 writeHits = 0;
+    u64 writeMisses = 0;
+    u64 fills = 0;
+    u64 dirtyEvictions = 0;
+
+    u64 accesses() const
+    {
+        return readHits + readMisses + writeHits + writeMisses;
+    }
+};
+
+/** Write handling policy. */
+enum class WritePolicy : u8
+{
+    /** Paper default: write-through, no write-allocate. */
+    WriteThrough,
+
+    /** Ablation: write-back, write-allocate (dirty lines tracked). */
+    WriteBack,
+};
+
+/** Set-associative tag store. */
+class DataCache
+{
+  public:
+    /**
+     * @param capacityBytes total capacity; zero disables the cache
+     * @param assoc ways per set (paper Table 2: 4)
+     * @param policy write handling (paper default: write-through)
+     */
+    explicit DataCache(u64 capacityBytes, u32 assoc = 4,
+                       WritePolicy policy = WritePolicy::WriteThrough);
+
+    /**
+     * Read probe for @p lineAddr (must be line aligned). On a hit the LRU
+     * state is updated; on a miss nothing is allocated — call fill() when
+     * the line returns from DRAM.
+     * @return true on hit.
+     */
+    bool read(Addr lineAddr);
+
+    /**
+     * Write probe. Write-through: updates LRU on hit, never allocates.
+     * Write-back: marks the line dirty on hit; on a miss the caller is
+     * expected to fill() (write-allocate) and then call write() again
+     * or markDirty().
+     * @return true if the line was present.
+     */
+    bool write(Addr lineAddr);
+
+    /** Write-back mode: set the dirty bit of a resident line. */
+    void markDirty(Addr lineAddr);
+
+    /**
+     * Install @p lineAddr, evicting LRU.
+     * @return true if the evicted line was dirty (the caller owes a
+     *         DRAM writeback); always false in write-through mode.
+     */
+    bool fill(Addr lineAddr);
+
+    /** Probe without side effects. */
+    bool contains(Addr lineAddr) const;
+
+    /** True if the line is resident and dirty. */
+    bool isDirty(Addr lineAddr) const;
+
+    /** Number of resident dirty lines (reconfiguration flush cost). */
+    u64 dirtyLineCount() const;
+
+    /**
+     * Drop all lines (kernel-boundary repartitioning, Section 4.4).
+     * @return number of dirty lines that had to be written back first
+     *         (always 0 for the paper's write-through design).
+     */
+    u64 invalidateAll();
+
+    u64 capacity() const { return capacityBytes_; }
+    u32 numSets() const { return numSets_; }
+    bool enabled() const { return capacityBytes_ > 0; }
+    WritePolicy policy() const { return policy_; }
+
+    const CacheStats& stats() const { return stats_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        u64 lastUse = 0;
+    };
+
+    u32 setIndex(Addr lineAddr) const;
+    Way* findWay(Addr lineAddr);
+    const Way* findWay(Addr lineAddr) const;
+
+    u64 capacityBytes_;
+    u32 assoc_;
+    WritePolicy policy_;
+    u32 numSets_;
+    u64 useClock_ = 0;
+    std::vector<Way> ways_; // numSets_ x assoc_, row major
+    CacheStats stats_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_MEM_CACHE_HH

@@ -1,0 +1,39 @@
+#include "mem/coalescer.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+std::vector<CoalescedAccess>
+coalesce(const WarpInstr& in)
+{
+    std::vector<CoalescedAccess> out;
+    if (!isMemOp(in.op))
+        panic("coalesce: non-memory opcode %s", opcodeName(in.op));
+
+    for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+        if (!in.laneActive(lane))
+            continue;
+        Addr a = in.addr[lane];
+        Addr line = a & ~static_cast<Addr>(kCacheLineBytes - 1);
+        // Accesses are assumed not to straddle a line (4/8-byte aligned).
+        u32 sector = static_cast<u32>((a - line) / kDramSectorBytes);
+
+        CoalescedAccess* acc = nullptr;
+        for (auto& c : out) {
+            if (c.lineAddr == line) {
+                acc = &c;
+                break;
+            }
+        }
+        if (acc == nullptr) {
+            out.push_back(CoalescedAccess{line, 0, 0});
+            acc = &out.back();
+        }
+        acc->sectorMask |= static_cast<u8>(1u << sector);
+        acc->bytesTouched += in.accessBytes;
+    }
+    return out;
+}
+
+} // namespace unimem

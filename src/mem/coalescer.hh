@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Global-memory access coalescer.
+ *
+ * Merges the per-lane addresses of one warp memory instruction into
+ * 128-byte cache-line transactions, tracking which 32-byte sectors of
+ * each line are actually touched. Sector masks let the DRAM model charge
+ * exact traffic when no cache is present (32-byte granules) versus full
+ * lines on cache fills, which is what makes cache-induced overfetch
+ * visible (paper Section 3.1, Needle row of Table 1).
+ */
+
+#ifndef UNIMEM_MEM_COALESCER_HH
+#define UNIMEM_MEM_COALESCER_HH
+
+#include <vector>
+
+#include "arch/warp_instr.hh"
+
+namespace unimem {
+
+/** One coalesced line-granularity transaction. */
+struct CoalescedAccess
+{
+    /** 128-byte-aligned line address. */
+    Addr lineAddr = 0;
+
+    /** Bit s set means 32-byte sector s of the line is touched. */
+    u8 sectorMask = 0;
+
+    /** Exact bytes touched within the line. */
+    u32 bytesTouched = 0;
+
+    u32 numSectors() const
+    {
+        return static_cast<u32>(__builtin_popcount(sectorMask));
+    }
+};
+
+/**
+ * Coalesce one warp instruction's lane addresses.
+ * Results are ordered by first-touching lane.
+ */
+std::vector<CoalescedAccess> coalesce(const WarpInstr& in);
+
+} // namespace unimem
+
+#endif // UNIMEM_MEM_COALESCER_HH

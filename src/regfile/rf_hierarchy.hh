@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Software-controlled register file hierarchy (Gebhart et al. [8,9],
+ * paper Section 2.1).
+ *
+ * Each thread has a single-entry last result file (LRF) and a 4-entry
+ * operand register file (ORF) in front of the main register file (MRF).
+ * The compiler keeps short-lived values in the LRF/ORF while a warp is in
+ * the active set; all live values must reside in the MRF when a warp is
+ * descheduled. The paper relies on the resulting ~60% reduction in MRF
+ * accesses to make shared register/memory bank bandwidth viable.
+ *
+ * We model the compile-time allocation with a dynamic policy at warp
+ * granularity: the most recently produced value sits in the LRF, older
+ * recent values rotate through the ORF (LRU), values evicted or alive at
+ * a deschedule are written back to the MRF. This is a slight overcount of
+ * MRF writes (a real compiler skips dead writebacks) and is noted in
+ * DESIGN.md.
+ */
+
+#ifndef UNIMEM_REGFILE_RF_HIERARCHY_HH
+#define UNIMEM_REGFILE_RF_HIERARCHY_HH
+
+#include <array>
+
+#include "arch/gpu_constants.hh"
+#include "arch/warp_instr.hh"
+#include "mem/bank_conflicts.hh"
+
+namespace unimem {
+
+/** Configuration of the register file hierarchy. */
+struct RfHierarchyConfig
+{
+    bool enabled = true;
+
+    /** ORF entries per thread (paper: 4). */
+    u32 orfEntries = 4;
+};
+
+/** Aggregate operand-traffic counters. */
+struct RfAccessCounts
+{
+    u64 srcReads = 0;
+    u64 dstWrites = 0;
+    u64 lrfReads = 0;
+    u64 orfReads = 0;
+    u64 mrfReads = 0;
+    u64 lrfWrites = 0;
+    u64 orfWrites = 0;
+    u64 mrfWrites = 0;
+    u64 descheduleWritebacks = 0;
+
+    u64 mrfAccesses() const { return mrfReads + mrfWrites; }
+
+    /** MRF accesses a flat register file would have made. */
+    u64 flatAccesses() const { return srcReads + dstWrites; }
+
+    /** Fraction of MRF accesses removed by the hierarchy. */
+    double
+    reduction() const
+    {
+        u64 flat = flatAccesses();
+        if (flat == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(mrfAccesses()) /
+                         static_cast<double>(flat);
+    }
+
+    void
+    merge(const RfAccessCounts& o)
+    {
+        srcReads += o.srcReads;
+        dstWrites += o.dstWrites;
+        lrfReads += o.lrfReads;
+        orfReads += o.orfReads;
+        mrfReads += o.mrfReads;
+        lrfWrites += o.lrfWrites;
+        orfWrites += o.orfWrites;
+        mrfWrites += o.mrfWrites;
+        descheduleWritebacks += o.descheduleWritebacks;
+    }
+};
+
+/** Per-warp operand placement state. */
+class WarpRegFile
+{
+  public:
+    WarpRegFile(const RfHierarchyConfig& cfg, u32 warpSlot);
+
+    /**
+     * Classify the operand accesses of one instruction.
+     *
+     * MRF reads of this instruction are written into @p outBanks as
+     * cluster-local bank ids (0..kBanksPerCluster-1); the same-named
+     * register of every lane lives in the same bank index in each
+     * cluster.
+     *
+     * @param in the instruction being issued
+     * @param isLongLatencyLoad destination is produced by a descheduling
+     *        load and is written straight to the MRF
+     * @param outBanks caller array of at least 3 entries (may be null)
+     * @return number of MRF reads recorded into @p outBanks
+     */
+    u32 accessOperands(const WarpInstr& in, bool isLongLatencyLoad,
+                       u8* outBanks);
+
+    /** Write all dirty LRF/ORF values back to the MRF (deschedule). */
+    void flushToMrf();
+
+    /** Cluster-local MRF bank of register @p r for this warp. */
+    u32
+    mrfBank(RegId r) const
+    {
+        return (static_cast<u32>(r) + warpSlot_) % kBanksPerCluster;
+    }
+
+    const RfAccessCounts& counts() const { return counts_; }
+
+    /** True if @p r currently lives in the LRF or ORF (for tests). */
+    bool inHierarchy(RegId r) const;
+
+  private:
+    void writeDst(RegId r, bool toMrf);
+
+    RfHierarchyConfig cfg_;
+    u32 warpSlot_;
+
+    RegId lrfReg_ = kInvalidReg;
+
+    struct OrfEntry
+    {
+        RegId reg = kInvalidReg;
+        u64 lastUse = 0;
+    };
+
+    std::array<OrfEntry, 8> orf_{}; // first cfg_.orfEntries used
+    u64 useClock_ = 0;
+
+    RfAccessCounts counts_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_REGFILE_RF_HIERARCHY_HH

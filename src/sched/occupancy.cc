@@ -1,0 +1,102 @@
+#include "sched/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+namespace {
+
+/** Clamp an allocated register count into the supported range. */
+u32
+clampRegs(u32 regs)
+{
+    return std::max(regs, kMinRegsPerThread);
+}
+
+void
+finishLaunch(const KernelParams& kp, LaunchConfig& lc, u64 ctas)
+{
+    if (ctas == 0) {
+        lc.feasible = false;
+        return;
+    }
+    lc.feasible = true;
+    lc.ctas = static_cast<u32>(ctas);
+    lc.threads = lc.ctas * kp.ctaThreads;
+    lc.rfBytes = static_cast<u64>(lc.threads) * lc.regsPerThread * kRegBytes;
+    lc.sharedBytes = static_cast<u64>(lc.ctas) * kp.sharedBytesPerCta;
+    lc.spillMultiplier = kp.spillCurve.multiplier(lc.regsPerThread);
+    if (lc.regsPerThread >= kp.regsPerThread)
+        lc.spillMultiplier = 1.0;
+}
+
+} // namespace
+
+LaunchConfig
+occupancyPartitioned(const KernelParams& kp, u64 rfCapacity,
+                     u64 sharedCapacity, u32 threadLimit, u32 regsOverride)
+{
+    kp.validate();
+    LaunchConfig lc;
+
+    u32 regs = regsOverride != 0 ? regsOverride : kp.regsPerThread;
+    u64 rfPerCta = static_cast<u64>(kp.ctaThreads) * regs * kRegBytes;
+    if (rfPerCta > rfCapacity) {
+        // Not even one CTA fits at the requested register count: the
+        // compiler spills down to what fits.
+        regs = clampRegs(
+            static_cast<u32>(rfCapacity / (kp.ctaThreads * kRegBytes)));
+        rfPerCta = static_cast<u64>(kp.ctaThreads) * regs * kRegBytes;
+        if (rfPerCta > rfCapacity)
+            return lc; // infeasible even at the minimum
+    }
+    lc.regsPerThread = regs;
+
+    u64 ctas = rfCapacity / rfPerCta;
+    if (kp.sharedBytesPerCta > 0)
+        ctas = std::min(ctas, sharedCapacity / kp.sharedBytesPerCta);
+    ctas = std::min(ctas, static_cast<u64>(threadLimit / kp.ctaThreads));
+    ctas = std::min(ctas,
+                    static_cast<u64>(kMaxThreadsPerSm / kp.ctaThreads));
+
+    finishLaunch(kp, lc, ctas);
+    return lc;
+}
+
+UnifiedLaunch
+occupancyUnified(const KernelParams& kp, u64 capacity, u32 threadLimit,
+                 u32 regsOverride)
+{
+    kp.validate();
+    UnifiedLaunch ul;
+    LaunchConfig& lc = ul.launch;
+
+    u32 regs = regsOverride != 0 ? regsOverride : kp.regsPerThread;
+    u64 perCta = static_cast<u64>(kp.ctaThreads) * regs * kRegBytes +
+                 kp.sharedBytesPerCta;
+    if (perCta > capacity) {
+        if (kp.sharedBytesPerCta >= capacity)
+            return ul; // scratchpad alone does not fit: infeasible
+        regs = clampRegs(static_cast<u32>((capacity - kp.sharedBytesPerCta) /
+                                          (kp.ctaThreads * kRegBytes)));
+        perCta = static_cast<u64>(kp.ctaThreads) * regs * kRegBytes +
+                 kp.sharedBytesPerCta;
+        if (perCta > capacity)
+            return ul;
+    }
+    lc.regsPerThread = regs;
+
+    u64 ctas = capacity / perCta;
+    ctas = std::min(ctas, static_cast<u64>(threadLimit / kp.ctaThreads));
+    ctas = std::min(ctas,
+                    static_cast<u64>(kMaxThreadsPerSm / kp.ctaThreads));
+
+    finishLaunch(kp, lc, ctas);
+    if (lc.feasible)
+        ul.cacheBytes = capacity - ctas * perCta;
+    return ul;
+}
+
+} // namespace unimem

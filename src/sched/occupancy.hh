@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CTA occupancy calculation for the partitioned and unified designs
+ * (paper Sections 3.1 and 4.5).
+ *
+ * Given a kernel's per-thread register requirement and per-CTA scratchpad
+ * requirement, these helpers compute how many CTAs fit into a set of
+ * capacities, how many registers per thread are actually allocated (fewer
+ * than needed forces spill code), and - for the unified design - how much
+ * capacity is left over for the primary cache.
+ */
+
+#ifndef UNIMEM_SCHED_OCCUPANCY_HH
+#define UNIMEM_SCHED_OCCUPANCY_HH
+
+#include "arch/gpu_constants.hh"
+#include "arch/kernel_params.hh"
+
+namespace unimem {
+
+/** Minimum registers per thread the compiler can scrape by with. */
+constexpr u32 kMinRegsPerThread = 8;
+
+/** Resolved launch configuration for one SM. */
+struct LaunchConfig
+{
+    bool feasible = false;
+
+    /** Registers per thread actually allocated. */
+    u32 regsPerThread = 0;
+
+    /** Dynamic-instruction multiplier from spilling at regsPerThread. */
+    double spillMultiplier = 1.0;
+
+    /** Concurrent CTAs resident on the SM. */
+    u32 ctas = 0;
+
+    /** Concurrent threads (ctas * ctaThreads). */
+    u32 threads = 0;
+
+    /** Register file bytes consumed. */
+    u64 rfBytes = 0;
+
+    /** Scratchpad bytes consumed. */
+    u64 sharedBytes = 0;
+};
+
+/** Unified-design launch: occupancy plus leftover capacity for cache. */
+struct UnifiedLaunch
+{
+    LaunchConfig launch;
+
+    /** Capacity not claimed by registers or scratchpad (paper 4.5). */
+    u64 cacheBytes = 0;
+};
+
+/**
+ * Occupancy under hard-partitioned register file and scratchpad
+ * capacities (baseline and Fermi-like designs).
+ *
+ * @param kp kernel requirements
+ * @param rfCapacity register file bytes
+ * @param sharedCapacity scratchpad bytes
+ * @param threadLimit cap on resident threads (sensitivity sweeps)
+ * @param regsOverride if nonzero, allocate exactly this many registers
+ *        per thread (values below the requirement induce spills)
+ */
+LaunchConfig occupancyPartitioned(const KernelParams& kp, u64 rfCapacity,
+                                  u64 sharedCapacity,
+                                  u32 threadLimit = kMaxThreadsPerSm,
+                                  u32 regsOverride = 0);
+
+/**
+ * Paper Section 4.5 allocation: registers and scratchpad are claimed out
+ * of the unified capacity for as many CTAs as fit (or as @p threadLimit
+ * allows); every remaining byte becomes primary cache.
+ */
+UnifiedLaunch occupancyUnified(const KernelParams& kp, u64 capacity,
+                               u32 threadLimit = kMaxThreadsPerSm,
+                               u32 regsOverride = 0);
+
+} // namespace unimem
+
+#endif // UNIMEM_SCHED_OCCUPANCY_HH

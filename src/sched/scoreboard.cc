@@ -1,0 +1,71 @@
+#include "sched/scoreboard.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+void
+Scoreboard::setPending(RegId r, Cycle readyAt, bool longLatency)
+{
+    if (r == kInvalidReg)
+        return;
+    if (r >= kMaxRegs)
+        panic("Scoreboard: register %u out of range", r);
+    Entry& e = regs_[r];
+    if (e.longLatency)
+        --longLatencyCount_; // WAW over a pending long op
+    e.readyAt = readyAt;
+    e.longLatency = longLatency;
+    if (longLatency)
+        ++longLatencyCount_;
+}
+
+void
+Scoreboard::clearPending(RegId r)
+{
+    if (r == kInvalidReg || r >= kMaxRegs)
+        return;
+    Entry& e = regs_[r];
+    if (e.longLatency) {
+        e.longLatency = false;
+        --longLatencyCount_;
+    }
+}
+
+Cycle
+Scoreboard::readyCycle(const WarpInstr& in) const
+{
+    Cycle ready = 0;
+    for (u8 s = 0; s < in.numSrc; ++s) {
+        RegId r = in.src[s];
+        if (r == kInvalidReg || r >= kMaxRegs)
+            continue;
+        ready = std::max(ready, regs_[r].readyAt);
+    }
+    // In-order writeback: a WAW hazard also delays issue.
+    if (in.hasDst() && in.dst < kMaxRegs)
+        ready = std::max(ready, regs_[in.dst].readyAt);
+    return ready;
+}
+
+bool
+Scoreboard::dependsOnLongLatency(const WarpInstr& in) const
+{
+    for (u8 s = 0; s < in.numSrc; ++s) {
+        RegId r = in.src[s];
+        if (r != kInvalidReg && r < kMaxRegs && regs_[r].longLatency)
+            return true;
+    }
+    if (in.hasDst() && in.dst < kMaxRegs && regs_[in.dst].longLatency)
+        return true;
+    return false;
+}
+
+void
+Scoreboard::reset()
+{
+    regs_.fill(Entry{});
+    longLatencyCount_ = 0;
+}
+
+} // namespace unimem

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-warp register scoreboard for the in-order SM pipeline.
+ *
+ * Tracks when each architectural register's pending value becomes
+ * available and whether the producer is a long-latency (descheduling)
+ * operation, which is what the two-level scheduler keys on.
+ */
+
+#ifndef UNIMEM_SCHED_SCOREBOARD_HH
+#define UNIMEM_SCHED_SCOREBOARD_HH
+
+#include <array>
+
+#include "arch/warp_instr.hh"
+#include "common/types.hh"
+
+namespace unimem {
+
+/** Register dependence tracking for one warp. */
+class Scoreboard
+{
+  public:
+    /** Maximum architectural registers per thread the model supports. */
+    static constexpr u32 kMaxRegs = 256;
+
+    /** Mark @p r as produced at @p readyAt by a (long-latency?) op. */
+    void setPending(RegId r, Cycle readyAt, bool longLatency);
+
+    /** Producer of @p r completed (clears long-latency flag). */
+    void clearPending(RegId r);
+
+    /** Cycle at which instruction @p in could issue given dependences. */
+    Cycle readyCycle(const WarpInstr& in) const;
+
+    /** True if @p in depends (RAW or WAW) on a pending long-latency op. */
+    bool dependsOnLongLatency(const WarpInstr& in) const;
+
+    /** True if any long-latency producer is outstanding for this warp. */
+    bool anyLongLatencyPending() const { return longLatencyCount_ > 0; }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Cycle readyAt = 0;
+        bool longLatency = false;
+    };
+
+    std::array<Entry, kMaxRegs> regs_{};
+    u32 longLatencyCount_ = 0;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_SCHED_SCOREBOARD_HH

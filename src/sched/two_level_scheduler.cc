@@ -1,0 +1,110 @@
+#include "sched/two_level_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+TwoLevelScheduler::TwoLevelScheduler(u32 maxActive)
+    : maxActive_(maxActive), state_(kMaxWarpsPerSm, State::NotResident)
+{
+    if (maxActive_ == 0)
+        fatal("TwoLevelScheduler: active set size must be positive");
+}
+
+void
+TwoLevelScheduler::addWarp(u32 warp)
+{
+    if (warp >= state_.size())
+        panic("TwoLevelScheduler: warp %u out of range", warp);
+    if (state_[warp] != State::NotResident)
+        panic("TwoLevelScheduler: warp %u already resident", warp);
+    ++numResident_;
+    if (active_.size() < maxActive_) {
+        state_[warp] = State::Active;
+        active_.push_back(warp);
+        ++stats_.activations;
+    } else {
+        state_[warp] = State::Eligible;
+        eligible_.push_back(warp);
+    }
+}
+
+void
+TwoLevelScheduler::retire(u32 warp)
+{
+    switch (state_[warp]) {
+      case State::NotResident:
+        panic("TwoLevelScheduler: retiring non-resident warp %u", warp);
+      case State::Active:
+        active_.erase(std::find(active_.begin(), active_.end(), warp));
+        break;
+      case State::Eligible:
+        eligible_.erase(std::find(eligible_.begin(), eligible_.end(), warp));
+        break;
+      case State::Pending:
+        break;
+    }
+    state_[warp] = State::NotResident;
+    --numResident_;
+    promote();
+}
+
+void
+TwoLevelScheduler::deschedule(u32 warp)
+{
+    if (state_[warp] != State::Active)
+        panic("TwoLevelScheduler: descheduling non-active warp %u", warp);
+    active_.erase(std::find(active_.begin(), active_.end(), warp));
+    state_[warp] = State::Pending;
+    ++stats_.deschedules;
+    promote();
+}
+
+void
+TwoLevelScheduler::signalEligible(u32 warp)
+{
+    if (state_[warp] != State::Pending)
+        return; // already eligible/active (e.g. multiple loads completing)
+    state_[warp] = State::Eligible;
+    eligible_.push_back(warp);
+    promote();
+}
+
+void
+TwoLevelScheduler::promote()
+{
+    while (active_.size() < maxActive_ && !eligible_.empty()) {
+        u32 warp = eligible_.front();
+        eligible_.pop_front();
+        state_[warp] = State::Active;
+        active_.push_back(warp);
+        ++stats_.activations;
+    }
+}
+
+u32
+TwoLevelScheduler::pickIssue(const std::function<bool(u32)>& ready)
+{
+    if (active_.empty())
+        return kNone;
+    u32 n = static_cast<u32>(active_.size());
+    for (u32 i = 0; i < n; ++i) {
+        u32 idx = (rrNext_ + i) % n;
+        u32 warp = active_[idx];
+        if (ready(warp)) {
+            rrNext_ = (idx + 1) % n;
+            return warp;
+        }
+    }
+    return kNone;
+}
+
+bool
+TwoLevelScheduler::isActive(u32 warp) const
+{
+    return state_[warp] == State::Active;
+}
+
+} // namespace unimem

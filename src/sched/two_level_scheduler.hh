@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Two-level warp scheduler (Gebhart et al. [8], paper Section 2.1).
+ *
+ * Resident warps are split into a small active set, which competes for
+ * the single issue slot each cycle, and an inactive set. A warp is
+ * descheduled (moved out of the active set) when it encounters a
+ * dependence on a long-latency operation; when the operation completes
+ * the warp becomes eligible and is re-activated as slots free up.
+ * Only active warps may hold values in the LRF/ORF.
+ */
+
+#ifndef UNIMEM_SCHED_TWO_LEVEL_SCHEDULER_HH
+#define UNIMEM_SCHED_TWO_LEVEL_SCHEDULER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "arch/gpu_constants.hh"
+#include "common/types.hh"
+
+namespace unimem {
+
+/** Scheduler statistics. */
+struct SchedulerStats
+{
+    u64 deschedules = 0;
+    u64 activations = 0;
+};
+
+/** Active/inactive warp set management with round-robin issue selection. */
+class TwoLevelScheduler
+{
+  public:
+    /**
+     * @param maxActive active-set size (paper/prior work: 8); a value of
+     *        kMaxWarpsPerSm degenerates to a flat single-level scheduler
+     */
+    explicit TwoLevelScheduler(u32 maxActive = 8);
+
+    /** A warp became resident (CTA launch). */
+    void addWarp(u32 warp);
+
+    /** The warp's trace is exhausted; frees its slot. */
+    void retire(u32 warp);
+
+    /** Active warp hit a long-latency dependence: move it out. */
+    void deschedule(u32 warp);
+
+    /** A descheduled warp's blocking condition cleared. */
+    void signalEligible(u32 warp);
+
+    /**
+     * Round-robin selection among active warps for which @p ready returns
+     * true. Returns the warp id, or kNone.
+     */
+    u32 pickIssue(const std::function<bool(u32)>& ready);
+
+    const std::vector<u32>& activeWarps() const { return active_; }
+    bool isActive(u32 warp) const;
+    u32 numResident() const { return numResident_; }
+
+    const SchedulerStats& stats() const { return stats_; }
+
+    static constexpr u32 kNone = ~u32(0);
+
+  private:
+    enum class State : u8
+    {
+        NotResident,
+        Active,
+        Pending,  // descheduled, waiting on completion
+        Eligible, // ready, waiting for an active slot
+    };
+
+    void promote();
+
+    u32 maxActive_;
+    std::vector<u32> active_;
+    std::deque<u32> eligible_;
+    std::vector<State> state_;
+    u32 numResident_ = 0;
+    u32 rrNext_ = 0;
+    SchedulerStats stats_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_SCHED_TWO_LEVEL_SCHEDULER_HH

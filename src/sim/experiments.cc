@@ -1,0 +1,104 @@
+#include "sim/experiments.hh"
+
+#include "common/log.hh"
+#include "kernels/registry.hh"
+
+namespace unimem {
+
+SimResult
+runBaseline(const std::string& name, double scale)
+{
+    RunSpec spec;
+    spec.design = DesignKind::Partitioned;
+    spec.partition = baselinePartition();
+    return simulateBenchmark(name, scale, spec);
+}
+
+SimResult
+runUnified(const std::string& name, double scale, u64 capacity)
+{
+    RunSpec spec;
+    spec.design = DesignKind::Unified;
+    spec.unifiedCapacity = capacity;
+    return simulateBenchmark(name, scale, spec);
+}
+
+SimResult
+runFermiBest(const std::string& name, double scale, u64 totalBytes)
+{
+    std::optional<SimResult> best;
+    for (const MemoryPartition& part : fermiLikeOptions(totalBytes)) {
+        RunSpec spec;
+        spec.design = DesignKind::FermiLike;
+        spec.partition = part;
+        std::unique_ptr<KernelModel> kernel = createBenchmark(name, scale);
+        AllocationDecision d = resolveAllocation(kernel->params(), spec);
+        if (!d.launch.feasible)
+            continue;
+        SimResult res = simulate(*kernel, spec);
+        if (!best || res.cycles() < best->cycles())
+            best = std::move(res);
+    }
+    if (!best)
+        fatal("runFermiBest: no feasible Fermi-like option for %s",
+              name.c_str());
+    return *best;
+}
+
+SimResult
+runUnifiedAutotuned(const std::string& name, double scale, u64 capacity)
+{
+    std::optional<SimResult> best;
+    for (u32 limit = 256; limit <= kMaxThreadsPerSm; limit += 256) {
+        RunSpec spec;
+        spec.design = DesignKind::Unified;
+        spec.unifiedCapacity = capacity;
+        spec.threadLimit = limit;
+        std::unique_ptr<KernelModel> kernel = createBenchmark(name, scale);
+        AllocationDecision d = resolveAllocation(kernel->params(), spec);
+        if (!d.launch.feasible)
+            continue;
+        if (best && d.launch.threads == best->alloc.launch.threads)
+            continue; // same occupancy as a previous point
+        SimResult res = simulate(*kernel, spec);
+        if (!best || res.cycles() < best->cycles())
+            best = std::move(res);
+    }
+    if (!best)
+        fatal("runUnifiedAutotuned: %s infeasible at %llu bytes",
+              name.c_str(), static_cast<unsigned long long>(capacity));
+    return *best;
+}
+
+double
+energyOf(const SimResult& run, const SimResult& baseline)
+{
+    return energyBreakdownOf(run, baseline).total();
+}
+
+EnergyBreakdown
+energyBreakdownOf(const SimResult& run, const SimResult& baseline)
+{
+    EnergyParams params;
+    double other = calibrateOtherDynamicPower(baseline.energy, params);
+    return computeEnergy(run.energy, params, other);
+}
+
+Comparison
+compare(const SimResult& run, const SimResult& baseline)
+{
+    Comparison c;
+    c.speedup = static_cast<double>(baseline.cycles()) /
+                static_cast<double>(run.cycles());
+    double base_j = energyOf(baseline, baseline);
+    double run_j = energyOf(run, baseline);
+    c.energyRatio = run_j / base_j;
+    u64 base_dram = baseline.dramSectors();
+    c.dramRatio = base_dram == 0
+                      ? 1.0
+                      : static_cast<double>(run.dramSectors()) /
+                            static_cast<double>(base_dram);
+    return c;
+}
+
+} // namespace unimem

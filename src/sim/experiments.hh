@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared experiment helpers for the paper-reproduction harnesses:
+ * baseline/unified/Fermi-like runs, best-of-two Fermi selection, thread
+ * count autotuning, and normalized metric computation (performance,
+ * chip energy, DRAM traffic) against a calibrated baseline.
+ */
+
+#ifndef UNIMEM_SIM_EXPERIMENTS_HH
+#define UNIMEM_SIM_EXPERIMENTS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace unimem {
+
+/** Run a benchmark on the paper's 256/64/64 partitioned baseline. */
+SimResult runBaseline(const std::string& name, double scale);
+
+/** Run a benchmark on the unified design at @p capacity (Section 4.5). */
+SimResult runUnified(const std::string& name, double scale, u64 capacity);
+
+/**
+ * Run both Fermi-like options at @p totalBytes and return the
+ * better-performing feasible one (paper Section 6.3: the programmer
+ * picks the configuration per application).
+ */
+SimResult runFermiBest(const std::string& name, double scale,
+                       u64 totalBytes);
+
+/**
+ * Sweep thread limits (multiples of 256) and return the
+ * best-performing unified run (paper Section 4.5's autotuning remark).
+ */
+SimResult runUnifiedAutotuned(const std::string& name, double scale,
+                              u64 capacity);
+
+/** Normalized comparison of a run against a baseline run. */
+struct Comparison
+{
+    /** baseline cycles / run cycles (> 1 means the run is faster). */
+    double speedup = 1.0;
+
+    /** run energy / baseline energy (< 1 means the run is better). */
+    double energyRatio = 1.0;
+
+    /** run DRAM sectors / baseline DRAM sectors. */
+    double dramRatio = 1.0;
+};
+
+/**
+ * Compare @p run to @p baseline using the Section 5.2 energy model with
+ * the benchmark's dynamic power calibrated on @p baseline.
+ */
+Comparison compare(const SimResult& run, const SimResult& baseline);
+
+/** Total chip-view energy (J) of @p run calibrated on @p baseline. */
+double energyOf(const SimResult& run, const SimResult& baseline);
+
+/** Energy decomposition of @p run calibrated on @p baseline. */
+EnergyBreakdown energyBreakdownOf(const SimResult& run,
+                                  const SimResult& baseline);
+
+} // namespace unimem
+
+#endif // UNIMEM_SIM_EXPERIMENTS_HH

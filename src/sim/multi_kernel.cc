@@ -1,0 +1,127 @@
+#include "sim/multi_kernel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "kernels/registry.hh"
+
+namespace unimem {
+
+const char*
+reconfigPolicyName(ReconfigPolicy p)
+{
+    switch (p) {
+      case ReconfigPolicy::PartitionedBaseline: return "partitioned";
+      case ReconfigPolicy::UnifiedStatic: return "unified-static";
+      case ReconfigPolicy::UnifiedPerKernel: return "unified-per-kernel";
+    }
+    panic("reconfigPolicyName: bad policy %d", static_cast<int>(p));
+}
+
+MemoryPartition
+staticCompromisePartition(const std::vector<KernelStage>& stages,
+                          u64 capacity)
+{
+    // Registers and scratchpad must satisfy the hungriest stage of the
+    // whole application; whatever is left over serves as cache. This is
+    // what a flexible-but-unreconfigurable design is forced into.
+    u64 rf = 0, shared = 0;
+    for (const KernelStage& st : stages) {
+        auto k = createBenchmark(st.benchmark, st.scale);
+        AllocationDecision d = allocateUnified(k->params(), capacity);
+        if (!d.launch.feasible)
+            fatal("staticCompromisePartition: %s does not fit in %llu "
+                  "bytes",
+                  st.benchmark.c_str(),
+                  static_cast<unsigned long long>(capacity));
+        rf = std::max(rf, d.partition.rfBytes);
+        shared = std::max(shared, d.partition.sharedBytes);
+    }
+    MemoryPartition p;
+    if (rf + shared > capacity) {
+        // Cannot satisfy both maxima at once: shrink the register file
+        // (the compiler spills) so at least the scratchpad demand fits.
+        rf = capacity > shared ? capacity - shared : 0;
+    }
+    p.rfBytes = rf;
+    p.sharedBytes = shared;
+    p.cacheBytes = capacity - rf - shared;
+    return p;
+}
+
+namespace {
+
+RunSpec
+specFor(ReconfigPolicy policy, const MemoryPartition& staticSplit,
+        u64 capacity, WritePolicy writePolicy)
+{
+    RunSpec spec;
+    spec.cachePolicy = writePolicy;
+    switch (policy) {
+      case ReconfigPolicy::PartitionedBaseline:
+        spec.design = DesignKind::Partitioned;
+        spec.partition = baselinePartition();
+        break;
+      case ReconfigPolicy::UnifiedStatic:
+        spec.design = DesignKind::Unified;
+        spec.unifiedUseFixedPartition = true;
+        spec.partition = staticSplit;
+        break;
+      case ReconfigPolicy::UnifiedPerKernel:
+        spec.design = DesignKind::Unified;
+        spec.unifiedCapacity = capacity;
+        break;
+    }
+    return spec;
+}
+
+} // namespace
+
+SequenceResult
+runSequence(const std::vector<KernelStage>& stages, ReconfigPolicy policy,
+            u64 capacity, WritePolicy writePolicy)
+{
+    if (stages.empty())
+        fatal("runSequence: empty kernel sequence");
+
+    SequenceResult seq;
+    seq.policy = policy;
+
+    MemoryPartition static_split;
+    if (policy == ReconfigPolicy::UnifiedStatic)
+        static_split = staticCompromisePartition(stages, capacity);
+
+    u64 pending_dirty = 0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+        const KernelStage& st = stages[i];
+        RunSpec spec =
+            specFor(policy, static_split, capacity, writePolicy);
+
+        StageResult stage;
+        stage.benchmark = st.benchmark;
+        stage.sim = simulateBenchmark(st.benchmark, st.scale, spec);
+        stage.partition = stage.sim.alloc.partition;
+        stage.threads = stage.sim.alloc.launch.threads;
+        stage.cycles = stage.sim.cycles();
+
+        // Repartitioning happens before this launch (the first launch
+        // configures an empty machine; a static split never changes).
+        bool repartition =
+            policy == ReconfigPolicy::UnifiedPerKernel && i > 0;
+        if (repartition) {
+            ++seq.reconfigs;
+            // The previous kernel's dirty lines must drain through the
+            // SM's DRAM bandwidth share before banks can be reassigned.
+            // Write-through never has dirty data: the drain is free.
+            stage.reconfigCycles =
+                pending_dirty * kCacheLineBytes / kDramBytesPerCycle;
+        }
+
+        pending_dirty = stage.sim.sm.dirtyLinesAtEnd;
+        seq.totalCycles += stage.cycles + stage.reconfigCycles;
+        seq.stages.push_back(std::move(stage));
+    }
+    return seq;
+}
+
+} // namespace unimem

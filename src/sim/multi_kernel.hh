@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Multi-kernel applications and per-kernel repartitioning (paper
+ * Section 4.4).
+ *
+ * Real GPU applications launch several kernels with different resource
+ * needs. The unified design can repartition the memory before every
+ * launch: registers and scratchpad are not persistent across CTA
+ * boundaries, so with the paper's write-through cache the only
+ * reconfiguration work is invalidating (clean) cache lines - free. The
+ * ablation write-back cache instead has to drain its dirty lines
+ * through the DRAM bandwidth before the next kernel may start, which is
+ * precisely why the paper chose write-through.
+ *
+ * This module runs a sequence of kernels on one SM under three regimes:
+ *  - partitioned baseline (fixed 256/64/64),
+ *  - unified with one fixed compromise split chosen for the whole
+ *    sequence (the best a design without reconfiguration could do),
+ *  - unified with a Section 4.5 split chosen before every kernel.
+ */
+
+#ifndef UNIMEM_SIM_MULTI_KERNEL_HH
+#define UNIMEM_SIM_MULTI_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace unimem {
+
+/** One launch in a multi-kernel application. */
+struct KernelStage
+{
+    std::string benchmark;
+    double scale = 0.5;
+};
+
+/** How the sequence manages unified memory across launches. */
+enum class ReconfigPolicy : u8
+{
+    /** Hard-partitioned baseline; no flexibility at all. */
+    PartitionedBaseline,
+
+    /** One unified split for the whole application (no reconfig). */
+    UnifiedStatic,
+
+    /** Section 4.4/4.5: repartition before every kernel. */
+    UnifiedPerKernel,
+};
+
+const char* reconfigPolicyName(ReconfigPolicy p);
+
+/** Result of one stage within a sequence run. */
+struct StageResult
+{
+    std::string benchmark;
+    MemoryPartition partition;
+    u32 threads = 0;
+    Cycle cycles = 0;
+
+    /** Cycles spent draining dirty cache lines before this launch. */
+    Cycle reconfigCycles = 0;
+
+    SimResult sim;
+};
+
+/** Result of a whole sequence. */
+struct SequenceResult
+{
+    ReconfigPolicy policy = ReconfigPolicy::PartitionedBaseline;
+    std::vector<StageResult> stages;
+
+    /** Total runtime including reconfiguration drains. */
+    Cycle totalCycles = 0;
+
+    /** Number of repartitions performed. */
+    u32 reconfigs = 0;
+};
+
+/**
+ * The fixed compromise split for UnifiedStatic: register file and
+ * scratchpad sized for the most demanding stage, remainder as cache.
+ * Returns an infeasible decision for a stage that cannot fit.
+ */
+MemoryPartition staticCompromisePartition(
+    const std::vector<KernelStage>& stages, u64 capacity);
+
+/**
+ * Run @p stages back to back under @p policy with @p capacity bytes of
+ * unified memory (ignored for the partitioned baseline).
+ *
+ * @param writePolicy cache policy; WriteBack adds a dirty-line drain
+ *        at every repartition boundary (Section 4.4 ablation)
+ */
+SequenceResult runSequence(const std::vector<KernelStage>& stages,
+                           ReconfigPolicy policy, u64 capacity = 384_KB,
+                           WritePolicy writePolicy =
+                               WritePolicy::WriteThrough);
+
+} // namespace unimem
+
+#endif // UNIMEM_SIM_MULTI_KERNEL_HH

@@ -1,0 +1,87 @@
+#include "sim/simulator.hh"
+
+#include "common/log.hh"
+#include "kernels/registry.hh"
+
+namespace unimem {
+
+EnergyInputs
+energyInputsOf(const SmStats& sm, const AllocationDecision& alloc)
+{
+    EnergyInputs in;
+    in.design = alloc.design;
+    in.partition = alloc.partition;
+    in.cycles = sm.cycles;
+    in.mrfReads = sm.rf.mrfReads;
+    in.mrfWrites = sm.rf.mrfWrites;
+    in.sharedReadBytes = sm.sharedReadBytes;
+    in.sharedWriteBytes = sm.sharedWriteBytes;
+    in.cacheReadBytes = sm.cacheReadBytes;
+    in.cacheWriteBytes = sm.cacheWriteBytes;
+    in.dramBytes = sm.dramBytes();
+    return in;
+}
+
+AllocationDecision
+resolveAllocation(const KernelParams& kp, const RunSpec& spec)
+{
+    u32 limit =
+        spec.threadLimit == 0 ? kMaxThreadsPerSm : spec.threadLimit;
+    switch (spec.design) {
+      case DesignKind::Partitioned:
+      case DesignKind::FermiLike: {
+        AllocationDecision d = allocatePartitioned(
+            kp, spec.partition, limit, spec.regsOverride);
+        d.design = spec.design;
+        return d;
+      }
+      case DesignKind::Unified:
+        if (spec.unifiedUseFixedPartition) {
+            AllocationDecision d = allocatePartitioned(
+                kp, spec.partition, limit, spec.regsOverride);
+            d.design = DesignKind::Unified;
+            return d;
+        }
+        return allocateUnified(kp, spec.unifiedCapacity, limit,
+                               spec.regsOverride);
+    }
+    panic("resolveAllocation: bad design kind");
+}
+
+SimResult
+simulate(const KernelModel& kernel, const RunSpec& spec)
+{
+    SimResult res;
+    res.alloc = resolveAllocation(kernel.params(), spec);
+    if (!res.alloc.launch.feasible)
+        fatal("simulate: kernel %s does not fit (design %s, %s)",
+              kernel.params().name.c_str(), designName(spec.design),
+              res.alloc.partition.str().c_str());
+
+    SmRunConfig cfg;
+    cfg.design = spec.design == DesignKind::FermiLike
+                     ? DesignKind::Partitioned
+                     : spec.design; // Fermi-like banks behave partitioned
+    cfg.partition = res.alloc.partition;
+    cfg.launch = res.alloc.launch;
+    cfg.activeSetSize = spec.activeSetSize;
+    cfg.rfHierarchy = spec.rfHierarchy;
+    cfg.conflictPenalties = spec.conflictPenalties;
+    cfg.aggressiveUnified = spec.aggressiveUnified;
+    cfg.cachePolicy = spec.cachePolicy;
+    cfg.seed = spec.seed;
+
+    res.sm = runKernel(cfg, kernel);
+    res.energy = energyInputsOf(res.sm, res.alloc);
+    return res;
+}
+
+SimResult
+simulateBenchmark(const std::string& name, double scale,
+                  const RunSpec& spec)
+{
+    std::unique_ptr<KernelModel> kernel = createBenchmark(name, scale);
+    return simulate(*kernel, spec);
+}
+
+} // namespace unimem

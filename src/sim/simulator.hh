@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Public simulation facade: describe a run (benchmark, design, capacity,
+ * optional overrides), get back timing, traffic, and energy-accounting
+ * inputs. This is the API the examples and benchmark harnesses use.
+ */
+
+#ifndef UNIMEM_SIM_SIMULATOR_HH
+#define UNIMEM_SIM_SIMULATOR_HH
+
+#include <string>
+
+#include "core/allocation.hh"
+#include "energy/energy_model.hh"
+#include "sm/sm.hh"
+
+namespace unimem {
+
+/** Full description of one simulation run. */
+struct RunSpec
+{
+    DesignKind design = DesignKind::Partitioned;
+
+    /** Capacities for Partitioned / FermiLike designs. */
+    MemoryPartition partition = baselinePartition();
+
+    /** Total capacity for the Unified design. */
+    u64 unifiedCapacity = 384_KB;
+
+    /**
+     * Unified design only: instead of the Section 4.5 split, use
+     * `partition` verbatim (unified bank structure, fixed split). Used
+     * for no-reconfiguration comparisons across kernel sequences.
+     */
+    bool unifiedUseFixedPartition = false;
+
+    /** Cap on resident threads (sensitivity sweeps); 0 = maximum. */
+    u32 threadLimit = kMaxThreadsPerSm;
+
+    /** Registers per thread override; 0 = the kernel's no-spill count. */
+    u32 regsOverride = 0;
+
+    /** Model options / ablations. */
+    bool rfHierarchy = true;
+    bool conflictPenalties = true;
+    bool aggressiveUnified = false;
+    WritePolicy cachePolicy = WritePolicy::WriteThrough;
+    u32 activeSetSize = 8;
+
+    u64 seed = 1;
+};
+
+/** Everything one run produces. */
+struct SimResult
+{
+    SmStats sm;
+    AllocationDecision alloc;
+    EnergyInputs energy;
+
+    Cycle cycles() const { return sm.cycles; }
+    u64 dramSectors() const { return sm.dramSectors(); }
+};
+
+/** Map SM statistics to energy-model inputs. */
+EnergyInputs energyInputsOf(const SmStats& sm,
+                            const AllocationDecision& alloc);
+
+/** Resolve the allocation a RunSpec implies for @p kp. */
+AllocationDecision resolveAllocation(const KernelParams& kp,
+                                     const RunSpec& spec);
+
+/** Run one kernel under one spec. Fatal if the launch is infeasible. */
+SimResult simulate(const KernelModel& kernel, const RunSpec& spec);
+
+/** Convenience: instantiate a registry benchmark and run it. */
+SimResult simulateBenchmark(const std::string& name, double scale,
+                            const RunSpec& spec);
+
+} // namespace unimem
+
+#endif // UNIMEM_SIM_SIMULATOR_HH

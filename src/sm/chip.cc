@@ -1,0 +1,87 @@
+#include "sm/chip.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+Cycle
+ChipStats::maxSmCycles() const
+{
+    Cycle m = 0;
+    for (const SmStats& s : sms)
+        m = std::max(m, s.cycles);
+    return m;
+}
+
+Cycle
+ChipStats::minSmCycles() const
+{
+    Cycle m = kCycleNever;
+    for (const SmStats& s : sms)
+        m = std::min(m, s.cycles);
+    return m;
+}
+
+ChipModel::ChipModel(const ChipConfig& cfg, const KernelModel& kernel)
+    : cfg_(cfg), dram_(cfg.chipDramBytesPerCycle, cfg.sm.lat.dram),
+      texDram_(cfg.chipDramBytesPerCycle, cfg.sm.lat.dram)
+{
+    if (cfg_.numSms == 0)
+        fatal("ChipModel: zero SMs");
+    if (cfg_.quantum == 0)
+        fatal("ChipModel: zero quantum");
+    for (u32 i = 0; i < cfg_.numSms; ++i) {
+        SmRunConfig sm_cfg = cfg_.sm;
+        sm_cfg.seed = cfg_.sm.seed + i; // per-SM-distinct traces
+        sms_.push_back(std::make_unique<SmModel>(sm_cfg, kernel, &dram_,
+                                                 &texDram_));
+    }
+}
+
+const ChipStats&
+ChipModel::run()
+{
+    if (ran_)
+        panic("ChipModel::run called twice");
+    ran_ = true;
+
+    for (auto& sm : sms_)
+        sm->start();
+
+    // Conservative quantum co-simulation: every SM advances to the
+    // window end before any SM enters the next window, bounding the
+    // timestamp skew seen by the shared DRAM to one quantum.
+    Cycle window_end = cfg_.quantum;
+    const u64 guard_limit = 2ull * 1000 * 1000 * 1000;
+    u64 guard = 0;
+
+    bool any_running = true;
+    while (any_running) {
+        if (++guard > guard_limit)
+            panic("ChipModel: window guard tripped");
+        any_running = false;
+        for (auto& sm : sms_) {
+            if (sm->finished())
+                continue;
+            sm->advance(window_end);
+            if (!sm->finished())
+                any_running = true;
+        }
+        window_end += cfg_.quantum;
+    }
+
+    Cycle max_cycles = 0;
+    for (auto& sm : sms_) {
+        stats_.sms.push_back(sm->finalize());
+        max_cycles = std::max(max_cycles, stats_.sms.back().cycles);
+    }
+    stats_.cycles =
+        std::max({max_cycles, dram_.nextFree(), texDram_.nextFree()});
+    stats_.dram = dram_.stats();
+    stats_.texDram = texDram_.stats();
+    return stats_;
+}
+
+} // namespace unimem

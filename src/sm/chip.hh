@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Chip-level co-simulation (validation of paper Section 5.1).
+ *
+ * The paper simulates a single SM and gives it 1/32 of the chip's DRAM
+ * bandwidth, arguing that with many symmetric SMs this "simplifies
+ * simulation without sacrificing accuracy". This module checks that
+ * claim: it runs N SmModels concurrently against one shared DRAM model
+ * with the full chip bandwidth (paper Section 2: 6 channels, 256
+ * bytes/cycle for 32 SMs), advancing the SMs in small conservative time
+ * quanta so their memory traffic interleaves.
+ *
+ * Each SM executes its own 1/N grid share of the kernel with a
+ * per-SM-distinct trace seed.
+ */
+
+#ifndef UNIMEM_SM_CHIP_HH
+#define UNIMEM_SM_CHIP_HH
+
+#include <memory>
+#include <vector>
+
+#include "sm/sm.hh"
+
+namespace unimem {
+
+/** Chip-level run configuration. */
+struct ChipConfig
+{
+    /** Number of SMs (paper: 32). */
+    u32 numSms = 32;
+
+    /** Chip-wide DRAM bandwidth in bytes/cycle (paper: 256). */
+    u32 chipDramBytesPerCycle = 256;
+
+    /**
+     * Conservative co-simulation quantum in cycles: SMs run round-robin
+     * in windows of this size against the shared DRAM. Smaller values
+     * interleave traffic more faithfully; larger values simulate
+     * faster.
+     */
+    Cycle quantum = 64;
+
+    /** Per-SM configuration (design, partition, launch, options). */
+    SmRunConfig sm;
+};
+
+/** Chip-level results. */
+struct ChipStats
+{
+    /** Chip runtime: the slowest SM's clock plus the DRAM drain. */
+    Cycle cycles = 0;
+
+    /** Shared-DRAM traffic of all SMs together. */
+    DramStats dram;
+    DramStats texDram;
+
+    /** Per-SM statistics (dram fields empty: traffic is chip-level). */
+    std::vector<SmStats> sms;
+
+    u64
+    warpInstrs() const
+    {
+        u64 n = 0;
+        for (const SmStats& s : sms)
+            n += s.warpInstrs;
+        return n;
+    }
+
+    /** Slowest / fastest SM finish times (load-imbalance measure). */
+    Cycle maxSmCycles() const;
+    Cycle minSmCycles() const;
+};
+
+/** Co-simulates N identical SMs sharing the chip's DRAM bandwidth. */
+class ChipModel
+{
+  public:
+    ChipModel(const ChipConfig& cfg, const KernelModel& kernel);
+
+    /** Run every SM's grid share to completion. */
+    const ChipStats& run();
+
+    const ChipStats& stats() const { return stats_; }
+
+  private:
+    ChipConfig cfg_;
+    DramModel dram_;
+    DramModel texDram_;
+    std::vector<std::unique_ptr<SmModel>> sms_;
+    ChipStats stats_;
+    bool ran_ = false;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_SM_CHIP_HH

@@ -1,0 +1,493 @@
+#include "sm/sm.hh"
+
+#include <algorithm>
+
+#include "arch/spill_injector.hh"
+#include "common/log.hh"
+#include "mem/coalescer.hh"
+
+namespace unimem {
+
+SmModel::SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
+                 DramModel* sharedDram, DramModel* sharedTexDram)
+    : cfg_(cfg), kernel_(kernel),
+      conflicts_(cfg.design, cfg.aggressiveUnified),
+      sched_(cfg.activeSetSize),
+      cache_(cfg.partition.cacheBytes, 4, cfg.cachePolicy),
+      ownDram_(cfg.dramBytesPerCycle, cfg.lat.dram),
+      ownTexDram_(cfg.dramBytesPerCycle, cfg.lat.dram),
+      dram_(sharedDram != nullptr ? sharedDram : &ownDram_),
+      texDram_(sharedTexDram != nullptr ? sharedTexDram : &ownTexDram_),
+      tex_(cfg.texCacheBytes, cfg.lat.texture, texDram_)
+{
+    const KernelParams& kp = kernel_.params();
+    kp.validate();
+    if (!cfg_.launch.feasible)
+        fatal("SmModel: infeasible launch for kernel %s", kp.name.c_str());
+
+    u32 num_warps = cfg_.launch.ctas * kp.warpsPerCta();
+    if (num_warps == 0 || num_warps > kMaxWarpsPerSm)
+        fatal("SmModel: %u resident warps out of range", num_warps);
+
+    warps_.resize(num_warps);
+    ctas_.resize(cfg_.launch.ctas);
+    for (u32 c = 0; c < cfg_.launch.ctas; ++c) {
+        for (u32 w = 0; w < kp.warpsPerCta(); ++w)
+            ctas_[c].warps.push_back(c * kp.warpsPerCta() + w);
+    }
+}
+
+void
+SmModel::launchCta(u32 ctaSlot)
+{
+    const KernelParams& kp = kernel_.params();
+    CtaSlot& cta = ctas_[ctaSlot];
+
+    u32 cta_id = nextCta_++;
+    cta.occupied = true;
+    cta.warpsRemaining = kp.warpsPerCta();
+    cta.barrierWaiting = 0;
+
+    SpillConfig spill;
+    spill.neededRegs = kp.regsPerThread;
+    spill.allocatedRegs = cfg_.launch.regsPerThread;
+    spill.multiplier = cfg_.launch.spillMultiplier;
+
+    for (u32 i = 0; i < cta.warps.size(); ++i) {
+        u32 slot = cta.warps[i];
+        WarpSlot& ws = warps_[slot];
+
+        WarpCtx ctx;
+        ctx.ctaId = cta_id;
+        ctx.warpInCta = i;
+        ctx.warpsPerCta = kp.warpsPerCta();
+        ctx.threadsPerCta = kp.ctaThreads;
+        ctx.seed = cfg_.seed;
+
+        u64 warp_gid =
+            static_cast<u64>(cta_id) * kp.warpsPerCta() + i;
+        std::unique_ptr<WarpProgram> prog = kernel_.warpProgram(ctx);
+        prog = std::make_unique<SpillInjector>(std::move(prog), spill,
+                                               warp_gid);
+
+        ws.stream = std::make_unique<InstrStream>(std::move(prog));
+        ws.sb.reset();
+        RfHierarchyConfig rf_cfg;
+        rf_cfg.enabled = cfg_.rfHierarchy;
+        ws.rf = std::make_unique<WarpRegFile>(rf_cfg, slot);
+        ws.resident = true;
+        ws.atBarrier = false;
+        ws.ctaSlot = ctaSlot;
+        ++ws.gen;
+        ws.warpGlobalId = warp_gid;
+
+        sched_.addWarp(slot);
+        ++residentWarps_;
+    }
+}
+
+void
+SmModel::retireWarp(u32 w)
+{
+    WarpSlot& ws = warps_[w];
+    stats_.rf.merge(ws.rf->counts());
+    sched_.retire(w);
+    ws.resident = false;
+    ws.stream.reset();
+    ++ws.gen; // invalidate in-flight load events
+    --residentWarps_;
+
+    CtaSlot& cta = ctas_[ws.ctaSlot];
+    if (--cta.warpsRemaining == 0) {
+        cta.occupied = false;
+        ++stats_.ctasExecuted;
+        if (nextCta_ < kernel_.params().gridCtas)
+            launchCta(ws.ctaSlot);
+    }
+}
+
+void
+SmModel::processEvents()
+{
+    while (!events_.empty() && events_.top().at <= now_) {
+        LoadEvent ev = events_.top();
+        events_.pop();
+        WarpSlot& ws = warps_[ev.warp];
+        if (ws.gen != ev.gen || !ws.resident)
+            continue;
+        ws.sb.clearPending(ev.reg);
+        if (ws.atBarrier || sched_.isActive(ev.warp))
+            continue;
+        const WarpInstr* next = ws.stream->peek();
+        if (next == nullptr || !ws.sb.dependsOnLongLatency(*next))
+            sched_.signalEligible(ev.warp);
+    }
+}
+
+void
+SmModel::housekeeping()
+{
+    // Snapshot: retire and deschedule mutate the active list.
+    std::vector<u32> active = sched_.activeWarps();
+    for (u32 w : active) {
+        WarpSlot& ws = warps_[w];
+        const WarpInstr* in = ws.stream->peek();
+        if (in == nullptr) {
+            retireWarp(w);
+        } else if (ws.sb.dependsOnLongLatency(*in)) {
+            // All live values must reside in the MRF while inactive.
+            ws.rf->flushToMrf();
+            sched_.deschedule(w);
+        }
+    }
+}
+
+bool
+SmModel::warpReady(u32 w) const
+{
+    const WarpSlot& ws = warps_[w];
+    if (!ws.resident || ws.atBarrier)
+        return false;
+    const WarpInstr* in =
+        const_cast<InstrStream*>(ws.stream.get())->peek();
+    if (in == nullptr)
+        return false;
+    return ws.sb.readyCycle(*in) <= now_;
+}
+
+void
+SmModel::releaseBarrier(CtaSlot& cta)
+{
+    cta.barrierWaiting = 0;
+    for (u32 w : cta.warps) {
+        WarpSlot& ws = warps_[w];
+        if (ws.resident && ws.atBarrier) {
+            ws.atBarrier = false;
+            sched_.signalEligible(w);
+        }
+    }
+}
+
+void
+SmModel::execBarrier(u32 w)
+{
+    WarpSlot& ws = warps_[w];
+    CtaSlot& cta = ctas_[ws.ctaSlot];
+    ++stats_.barriers;
+
+    ws.atBarrier = true;
+    ws.rf->flushToMrf();
+    sched_.deschedule(w);
+    if (++cta.barrierWaiting == cta.warpsRemaining)
+        releaseBarrier(cta);
+}
+
+void
+SmModel::execCompute(u32 w, const WarpInstr& in, Cycle issueAt)
+{
+    WarpSlot& ws = warps_[w];
+    u32 latency = in.op == Opcode::Sfu ? cfg_.lat.sfu : cfg_.lat.alu;
+    if (in.hasDst()) {
+        Cycle done = issueAt + latency;
+        ws.sb.setPending(in.dst, done, false);
+        lastCompletion_ = std::max(lastCompletion_, done);
+    }
+}
+
+void
+SmModel::execShared(u32 w, const WarpInstr& in, Cycle issueAt,
+                    const ConflictOutcome& co)
+{
+    WarpSlot& ws = warps_[w];
+    u64 bytes = cfg_.design == DesignKind::Unified
+                    ? static_cast<u64>(co.distinctChunks) * kUnifiedBankWidth
+                    : static_cast<u64>(co.distinctWords) *
+                          kPartitionedBankWidth;
+    if (in.op == Opcode::LdShared) {
+        stats_.sharedReadBytes += bytes;
+        Cycle done = issueAt + cfg_.lat.sharedMem;
+        if (in.hasDst()) {
+            ws.sb.setPending(in.dst, done, false);
+            lastCompletion_ = std::max(lastCompletion_, done);
+        }
+    } else {
+        stats_.sharedWriteBytes += bytes;
+    }
+}
+
+void
+SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt)
+{
+    WarpSlot& ws = warps_[w];
+    std::vector<CoalescedAccess> lines = coalesce(in);
+    if (lines.empty())
+        return;
+
+    const bool unified = cfg_.design == DesignKind::Unified;
+    const bool is_load = isLoad(in.op);
+
+    Cycle tag_time = std::max(issueAt, tagFreeAt_);
+    Cycle completion = 0;
+
+    for (const CoalescedAccess& acc : lines) {
+        tag_time += 1; // single-ported tag array
+        u64 hit_bytes =
+            unified ? static_cast<u64>(
+                          (acc.bytesTouched + kUnifiedBankWidth - 1) /
+                          kUnifiedBankWidth) *
+                          kUnifiedBankWidth
+                    : kCacheLineBytes;
+        constexpr u32 line_sectors = kCacheLineBytes / kDramSectorBytes;
+        if (is_load) {
+            if (cache_.enabled()) {
+                if (cache_.read(acc.lineAddr)) {
+                    completion = std::max(
+                        completion, tag_time + cfg_.lat.cacheHit);
+                    stats_.cacheReadBytes += hit_bytes;
+                } else {
+                    Cycle ready = dram_->read(tag_time, line_sectors);
+                    if (cache_.fill(acc.lineAddr)) {
+                        // Dirty victim (write-back mode) drains first.
+                        dram_->write(tag_time, line_sectors);
+                    }
+                    stats_.cacheWriteBytes += kCacheLineBytes;
+                    completion = std::max(completion, ready);
+                }
+            } else {
+                Cycle ready = dram_->read(tag_time, acc.numSectors());
+                completion = std::max(completion, ready);
+            }
+        } else if (cfg_.cachePolicy == WritePolicy::WriteBack &&
+                   cache_.enabled()) {
+            // Ablation mode: write-back with write-allocate.
+            if (cache_.write(acc.lineAddr)) {
+                stats_.cacheWriteBytes += hit_bytes;
+            } else {
+                Cycle ready = dram_->read(tag_time, line_sectors);
+                if (cache_.fill(acc.lineAddr))
+                    dram_->write(tag_time, line_sectors);
+                cache_.markDirty(acc.lineAddr);
+                stats_.cacheWriteBytes += kCacheLineBytes + hit_bytes;
+                lastCompletion_ = std::max(lastCompletion_, ready);
+            }
+        } else {
+            // Paper design: write-through, no write-allocate.
+            if (cache_.enabled() && cache_.write(acc.lineAddr))
+                stats_.cacheWriteBytes += hit_bytes;
+            Cycle drained = dram_->write(tag_time, acc.numSectors());
+            lastCompletion_ = std::max(lastCompletion_, drained);
+        }
+    }
+    tagFreeAt_ = tag_time;
+    stats_.tagSerializationCycles += lines.size() - 1;
+
+    if (is_load && in.hasDst()) {
+        ws.sb.setPending(in.dst, completion, true);
+        lastCompletion_ = std::max(lastCompletion_, completion);
+        events_.push(LoadEvent{completion, w, ws.gen, in.dst});
+    }
+}
+
+void
+SmModel::execTexture(u32 w, const WarpInstr& in, Cycle issueAt)
+{
+    WarpSlot& ws = warps_[w];
+    Cycle done = tex_.access(issueAt, in);
+    lastCompletion_ = std::max(lastCompletion_, done);
+    if (in.hasDst()) {
+        ws.sb.setPending(in.dst, done, true);
+        events_.push(LoadEvent{done, w, ws.gen, in.dst});
+    }
+}
+
+void
+SmModel::issue(u32 w)
+{
+    WarpSlot& ws = warps_[w];
+    const WarpInstr in = *ws.stream->peek();
+    ws.stream->pop();
+
+    ++stats_.warpInstrs;
+    stats_.threadInstrs += in.numActive();
+    ++stats_.issuedByOp[static_cast<size_t>(in.op)];
+
+    if (in.op == Opcode::Bar) {
+        stats_.conflictHist.record(0);
+        issueFreeAt_ = now_ + 1;
+        execBarrier(w);
+        return;
+    }
+
+    // Operand fetch through the RF hierarchy; long-latency load results
+    // bypass the LRF/ORF and land in the MRF (the warp will usually be
+    // descheduled before consuming them).
+    u8 mrf_banks[3];
+    bool ll_load = isLoad(in.op) && isLongLatency(in.op);
+    u32 num_mrf = ws.rf->accessOperands(in, ll_load, mrf_banks);
+
+    ConflictOutcome co = conflicts_.evaluate(in, mrf_banks, num_mrf);
+    stats_.conflictHist.record(co.maxPerBank);
+    u32 reg_pen = cfg_.conflictPenalties ? co.regPenalty : 0;
+    u32 mem_pen =
+        cfg_.conflictPenalties ? co.penalty - co.regPenalty : 0;
+    stats_.conflictPenaltyCycles += reg_pen + mem_pen;
+
+    // Operand bank conflicts stall the issue stage; data bank conflicts
+    // serialize in the memory access port (instructions from other
+    // warps keep issuing behind them).
+    issueFreeAt_ = now_ + 1 + reg_pen;
+    Cycle exec_at = now_;
+    if (isMemOp(in.op) && in.op != Opcode::Tex) {
+        Cycle start = std::max(now_, memPortFreeAt_);
+        memPortFreeAt_ = start + 1 + mem_pen;
+        exec_at = start + mem_pen;
+    }
+
+    switch (in.op) {
+      case Opcode::IntAlu:
+      case Opcode::FpAlu:
+      case Opcode::Sfu:
+        execCompute(w, in, now_);
+        break;
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        execShared(w, in, exec_at, co);
+        break;
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+      case Opcode::LdLocal:
+      case Opcode::StLocal:
+        execGlobal(w, in, exec_at);
+        break;
+      case Opcode::Tex:
+        execTexture(w, in, now_);
+        break;
+      case Opcode::Bar:
+        break; // handled above
+    }
+
+    if (ws.stream->exhausted())
+        retireWarp(w);
+}
+
+Cycle
+SmModel::nextInterestingCycle() const
+{
+    Cycle t = kCycleNever;
+    if (!events_.empty())
+        t = std::min(t, events_.top().at);
+    if (issueFreeAt_ > now_)
+        t = std::min(t, issueFreeAt_);
+    for (u32 w : sched_.activeWarps()) {
+        const WarpSlot& ws = warps_[w];
+        if (!ws.resident || ws.atBarrier)
+            continue;
+        const WarpInstr* in =
+            const_cast<InstrStream*>(ws.stream.get())->peek();
+        if (in == nullptr || ws.sb.dependsOnLongLatency(*in))
+            continue;
+        Cycle ready = ws.sb.readyCycle(*in);
+        if (ready > now_)
+            t = std::min(t, ready);
+    }
+    return t;
+}
+
+void
+SmModel::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    const u32 total_ctas = kernel_.params().gridCtas;
+    for (u32 c = 0; c < ctas_.size() && nextCta_ < total_ctas; ++c)
+        launchCta(c);
+}
+
+Cycle
+SmModel::advance(Cycle limit)
+{
+    if (!started_)
+        panic("SmModel::advance before start");
+    const u64 guard_limit = 50ull * 1000 * 1000 * 1000;
+
+    while (residentWarps_ > 0 && now_ < limit) {
+        if (++guard_ > guard_limit)
+            panic("SmModel: cycle guard tripped (livelock?)");
+
+        processEvents();
+        housekeeping();
+        if (residentWarps_ == 0)
+            break;
+
+        if (issueFreeAt_ > now_) {
+            now_ = std::min(issueFreeAt_, nextInterestingCycle());
+            continue;
+        }
+
+        u32 w = sched_.pickIssue([this](u32 cand) {
+            return warpReady(cand);
+        });
+        if (w == TwoLevelScheduler::kNone) {
+            Cycle t = nextInterestingCycle();
+            if (t == kCycleNever) {
+                if (residentWarps_ > 0)
+                    panic("SmModel: deadlock with %u resident warps "
+                          "(unbalanced barriers?)",
+                          residentWarps_);
+                break;
+            }
+            now_ = std::max(t, now_ + 1);
+            continue;
+        }
+        issue(w);
+    }
+    return now_;
+}
+
+const SmStats&
+SmModel::finalize()
+{
+    if (!finished())
+        panic("SmModel::finalize before the SM finished");
+    if (finalized_)
+        return stats_;
+    finalized_ = true;
+
+    // With a private DRAM its drain time belongs to this SM; a shared
+    // chip DRAM's residual drain is accounted for by the chip model.
+    Cycle drain = dram_ == &ownDram_ ? ownDram_.nextFree() : 0;
+    Cycle tex_drain =
+        texDram_ == &ownTexDram_ ? ownTexDram_.nextFree() : 0;
+    stats_.cycles =
+        std::max({now_, lastCompletion_, drain, tex_drain});
+    stats_.dirtyLinesAtEnd = cache_.dirtyLineCount();
+    stats_.cache = cache_.stats();
+    // Shared (chip-level) DRAM statistics belong to the chip model;
+    // only private DRAM traffic is reported per SM.
+    if (dram_ == &ownDram_)
+        stats_.dram = ownDram_.stats();
+    if (texDram_ == &ownTexDram_)
+        stats_.texDram = ownTexDram_.stats();
+    stats_.sched = sched_.stats();
+    return stats_;
+}
+
+const SmStats&
+SmModel::run()
+{
+    if (started_)
+        panic("SmModel::run on an already started model");
+    start();
+    advance(kCycleNever);
+    return finalize();
+}
+
+SmStats
+runKernel(const SmRunConfig& cfg, const KernelModel& kernel)
+{
+    SmModel sm(cfg, kernel);
+    return sm.run();
+}
+
+} // namespace unimem

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cycle-level model of one streaming multiprocessor (paper Section 5.1).
+ *
+ * The model is trace driven: each resident warp owns an InstrStream
+ * produced by the kernel model (wrapped in a SpillInjector when the
+ * launch allocates fewer registers than the kernel needs). Each cycle the
+ * two-level scheduler picks one ready active warp and issues its next
+ * instruction; bank and arbitration conflicts delay the issue port by the
+ * Section 6.1 penalty model; global accesses probe the single-ported tag
+ * array and either hit in the cache or queue on the SM's DRAM bandwidth
+ * share. Warps that hit a dependence on a long-latency load are
+ * descheduled (writing their LRF/ORF state back to the MRF) and
+ * reactivated when the load returns. CTAs are launched in waves as slots
+ * free up; barriers synchronize the warps of a CTA.
+ *
+ * Idle stretches are skipped by advancing the clock directly to the next
+ * interesting event, so DRAM-bound phases simulate quickly.
+ */
+
+#ifndef UNIMEM_SM_SM_HH
+#define UNIMEM_SM_SM_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "arch/kernel_model.hh"
+#include "core/conflict_model.hh"
+#include "sched/scoreboard.hh"
+#include "sm/sm_config.hh"
+#include "sm/tex_unit.hh"
+
+namespace unimem {
+
+/** One-shot simulator: construct, run(), read stats. */
+class SmModel
+{
+  public:
+    /**
+     * @param cfg run configuration
+     * @param kernel workload
+     * @param sharedDram if non-null, global accesses go through this
+     *        externally owned DRAM model instead of a private one
+     *        (chip-level co-simulation); ditto @p sharedTexDram
+     */
+    SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
+            DramModel* sharedDram = nullptr,
+            DramModel* sharedTexDram = nullptr);
+
+    /** Run the kernel's whole grid share to completion. */
+    const SmStats& run();
+
+    // -- Steppable interface for chip-level co-simulation ------------
+
+    /** Launch the initial CTA wave (idempotent). */
+    void start();
+
+    /**
+     * Advance simulation until the local clock reaches @p limit or the
+     * SM finishes. May overshoot the limit by one scheduling decision.
+     * @return the local clock after advancing.
+     */
+    Cycle advance(Cycle limit);
+
+    /** All CTAs retired? */
+    bool finished() const { return started_ && residentWarps_ == 0; }
+
+    /** Local clock. */
+    Cycle now() const { return now_; }
+
+    /** Finalize statistics once finished (idempotent). */
+    const SmStats& finalize();
+
+    const SmStats& stats() const { return stats_; }
+
+  private:
+    struct WarpSlot
+    {
+        std::unique_ptr<InstrStream> stream;
+        Scoreboard sb;
+        std::unique_ptr<WarpRegFile> rf;
+        bool resident = false;
+        bool atBarrier = false;
+        u32 ctaSlot = 0;
+        u32 gen = 0;
+        u64 warpGlobalId = 0;
+    };
+
+    struct CtaSlot
+    {
+        std::vector<u32> warps; // warp slot indices
+        u32 warpsRemaining = 0;
+        u32 barrierWaiting = 0;
+        bool occupied = false;
+    };
+
+    struct LoadEvent
+    {
+        Cycle at;
+        u32 warp;
+        u32 gen;
+        RegId reg;
+
+        bool
+        operator>(const LoadEvent& o) const
+        {
+            return at > o.at;
+        }
+    };
+
+    void launchCta(u32 ctaSlot);
+    void processEvents();
+    void housekeeping();
+    bool warpReady(u32 w) const;
+    void issue(u32 w);
+    void retireWarp(u32 w);
+    void releaseBarrier(CtaSlot& cta);
+    Cycle nextInterestingCycle() const;
+
+    void execCompute(u32 w, const WarpInstr& in, Cycle issueAt);
+    void execShared(u32 w, const WarpInstr& in, Cycle issueAt,
+                    const ConflictOutcome& co);
+    void execGlobal(u32 w, const WarpInstr& in, Cycle issueAt);
+    void execTexture(u32 w, const WarpInstr& in, Cycle issueAt);
+    void execBarrier(u32 w);
+
+    SmRunConfig cfg_;
+    const KernelModel& kernel_;
+
+    ConflictModel conflicts_;
+    TwoLevelScheduler sched_;
+    DataCache cache_;
+    DramModel ownDram_;
+    DramModel ownTexDram_;
+    DramModel* dram_;    // points to ownDram_ or a shared chip DRAM
+    DramModel* texDram_; // ditto
+    TexUnit tex_;
+
+    std::vector<WarpSlot> warps_;
+    std::vector<CtaSlot> ctas_;
+
+    std::priority_queue<LoadEvent, std::vector<LoadEvent>,
+                        std::greater<LoadEvent>>
+        events_;
+
+    Cycle now_ = 0;
+    Cycle issueFreeAt_ = 0;
+    Cycle memPortFreeAt_ = 0;
+    Cycle tagFreeAt_ = 0;
+    Cycle lastCompletion_ = 0;
+
+    u32 nextCta_ = 0;
+    u32 residentWarps_ = 0;
+    bool started_ = false;
+    bool finalized_ = false;
+    u64 guard_ = 0;
+
+    SmStats stats_;
+};
+
+/** Convenience: build the config from an allocation and run. */
+SmStats runKernel(const SmRunConfig& cfg, const KernelModel& kernel);
+
+} // namespace unimem
+
+#endif // UNIMEM_SM_SM_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Run configuration and statistics of one SM simulation.
+ */
+
+#ifndef UNIMEM_SM_SM_CONFIG_HH
+#define UNIMEM_SM_SM_CONFIG_HH
+
+#include <array>
+
+#include "arch/gpu_constants.hh"
+#include "common/stats.hh"
+#include "core/partition.hh"
+#include "mem/bank_conflicts.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "regfile/rf_hierarchy.hh"
+#include "sched/occupancy.hh"
+#include "sched/two_level_scheduler.hh"
+
+namespace unimem {
+
+/** Everything the SM model needs to run one kernel. */
+struct SmRunConfig
+{
+    DesignKind design = DesignKind::Partitioned;
+
+    /** Physical (partitioned) or chosen (unified) capacities. */
+    MemoryPartition partition = baselinePartition();
+
+    /** Resolved occupancy/allocation for this launch. */
+    LaunchConfig launch;
+
+    /** Two-level scheduler active set size (prior work: 8). */
+    u32 activeSetSize = 8;
+
+    /** Model the ORF/LRF hierarchy (ablation: false). */
+    bool rfHierarchy = true;
+
+    /** Charge bank/arbitration conflict penalties (ablation: false). */
+    bool conflictPenalties = true;
+
+    /** Unified design with multi-bank-per-cluster scatter/gather. */
+    bool aggressiveUnified = false;
+
+    /**
+     * Cache write policy. The paper uses write-through so repartitioning
+     * never has dirty data to drain (Section 4.4); WriteBack is the
+     * design-choice ablation.
+     */
+    WritePolicy cachePolicy = WritePolicy::WriteThrough;
+
+    Latencies lat;
+
+    u32 dramBytesPerCycle = kDramBytesPerCycle;
+
+    /** Private texture cache capacity (constant across configs). */
+    u64 texCacheBytes = 16_KB;
+
+    u64 seed = 1;
+};
+
+/** Results of one SM simulation. */
+struct SmStats
+{
+    Cycle cycles = 0;
+    u64 warpInstrs = 0;
+    u64 threadInstrs = 0;
+    u64 barriers = 0;
+    u64 ctasExecuted = 0;
+
+    /** Issued warp instructions per opcode (index = Opcode value). */
+    std::array<u64, 11> issuedByOp{};
+
+    u64
+    issued(Opcode op) const
+    {
+        return issuedByOp[static_cast<size_t>(op)];
+    }
+
+    u64 conflictPenaltyCycles = 0;
+    u64 tagSerializationCycles = 0;
+    ConflictHistogram conflictHist;
+
+    RfAccessCounts rf;
+    CacheStats cache;
+    DramStats dram;
+    DramStats texDram;
+    SchedulerStats sched;
+
+    /** Bytes moved through data banks, split by structure. */
+    u64 sharedReadBytes = 0;
+    u64 sharedWriteBytes = 0;
+    u64 cacheReadBytes = 0;
+    u64 cacheWriteBytes = 0;
+
+    /** Dirty lines resident at kernel end (write-back ablation only). */
+    u64 dirtyLinesAtEnd = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+                   ? 0.0
+                   : static_cast<double>(threadInstrs) /
+                         static_cast<double>(cycles);
+    }
+
+    /** Total DRAM sectors including texture traffic. */
+    u64 dramSectors() const { return dram.sectors() + texDram.sectors(); }
+
+    u64
+    dramBytes() const
+    {
+        return dramSectors() * kDramSectorBytes;
+    }
+
+    /** Export every statistic into a named snapshot (for reporting). */
+    StatSet toStatSet() const;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_SM_SM_CONFIG_HH

@@ -1,0 +1,71 @@
+#include "sm/sm_config.hh"
+
+namespace unimem {
+
+StatSet
+SmStats::toStatSet() const
+{
+    StatSet s;
+    s.set("cycles", static_cast<double>(cycles));
+    s.set("warp_instrs", static_cast<double>(warpInstrs));
+    s.set("thread_instrs", static_cast<double>(threadInstrs));
+    s.set("ipc", ipc());
+    s.set("barriers", static_cast<double>(barriers));
+    s.set("ctas_executed", static_cast<double>(ctasExecuted));
+
+    for (size_t i = 0; i < issuedByOp.size(); ++i) {
+        if (issuedByOp[i] == 0)
+            continue;
+        s.set(std::string("issued.") +
+                  opcodeName(static_cast<Opcode>(i)),
+              static_cast<double>(issuedByOp[i]));
+    }
+
+    s.set("conflict.penalty_cycles",
+          static_cast<double>(conflictPenaltyCycles));
+    s.set("conflict.tag_serialization_cycles",
+          static_cast<double>(tagSerializationCycles));
+    for (u32 b = 0; b < ConflictHistogram::kNumBuckets; ++b)
+        s.set(std::string("conflict.max_per_bank.") +
+                  ConflictHistogram::bucketName(b),
+              conflictHist.fraction(b));
+
+    s.set("rf.src_reads", static_cast<double>(rf.srcReads));
+    s.set("rf.dst_writes", static_cast<double>(rf.dstWrites));
+    s.set("rf.lrf_reads", static_cast<double>(rf.lrfReads));
+    s.set("rf.orf_reads", static_cast<double>(rf.orfReads));
+    s.set("rf.mrf_reads", static_cast<double>(rf.mrfReads));
+    s.set("rf.mrf_writes", static_cast<double>(rf.mrfWrites));
+    s.set("rf.deschedule_writebacks",
+          static_cast<double>(rf.descheduleWritebacks));
+    s.set("rf.mrf_reduction", rf.reduction());
+
+    s.set("cache.read_hits", static_cast<double>(cache.readHits));
+    s.set("cache.read_misses", static_cast<double>(cache.readMisses));
+    s.set("cache.write_hits", static_cast<double>(cache.writeHits));
+    s.set("cache.write_misses", static_cast<double>(cache.writeMisses));
+    s.set("cache.fills", static_cast<double>(cache.fills));
+    s.set("cache.dirty_evictions",
+          static_cast<double>(cache.dirtyEvictions));
+    s.set("cache.dirty_lines_at_end",
+          static_cast<double>(dirtyLinesAtEnd));
+
+    s.set("dram.read_sectors", static_cast<double>(dram.readSectors));
+    s.set("dram.write_sectors", static_cast<double>(dram.writeSectors));
+    s.set("dram.tex_sectors", static_cast<double>(texDram.sectors()));
+    s.set("dram.bytes", static_cast<double>(dramBytes()));
+
+    s.set("sched.deschedules", static_cast<double>(sched.deschedules));
+    s.set("sched.activations", static_cast<double>(sched.activations));
+
+    s.set("banks.shared_read_bytes",
+          static_cast<double>(sharedReadBytes));
+    s.set("banks.shared_write_bytes",
+          static_cast<double>(sharedWriteBytes));
+    s.set("banks.cache_read_bytes", static_cast<double>(cacheReadBytes));
+    s.set("banks.cache_write_bytes",
+          static_cast<double>(cacheWriteBytes));
+    return s;
+}
+
+} // namespace unimem

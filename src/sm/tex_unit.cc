@@ -1,0 +1,35 @@
+#include "sm/tex_unit.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/coalescer.hh"
+
+namespace unimem {
+
+TexUnit::TexUnit(u64 cacheBytes, u32 pipelineLatency, DramModel* dram)
+    : cache_(cacheBytes), latency_(pipelineLatency), dram_(dram)
+{
+    if (dram_ == nullptr)
+        panic("TexUnit: null DRAM model");
+}
+
+Cycle
+TexUnit::access(Cycle now, const WarpInstr& in)
+{
+    if (in.op != Opcode::Tex)
+        panic("TexUnit: non-texture opcode %s", opcodeName(in.op));
+
+    Cycle ready = now + latency_;
+    for (const CoalescedAccess& acc : coalesce(in)) {
+        if (cache_.read(acc.lineAddr))
+            continue;
+        Cycle fill =
+            dram_->read(now, kCacheLineBytes / kDramSectorBytes);
+        cache_.fill(acc.lineAddr);
+        ready = std::max(ready, fill + latency_ / 4);
+    }
+    return ready;
+}
+
+} // namespace unimem

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Texture unit model: a private read-only cache in front of DRAM with a
+ * long fixed pipeline latency (paper Table 2: 400 cycles). The texture
+ * path bypasses the primary data cache, so texture-heavy workloads (e.g.
+ * BicubicTexture) are insensitive to the primary cache capacity, matching
+ * Table 1.
+ */
+
+#ifndef UNIMEM_SM_TEX_UNIT_HH
+#define UNIMEM_SM_TEX_UNIT_HH
+
+#include "arch/warp_instr.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace unimem {
+
+/** Texture fetch path with its own cache and DRAM accounting. */
+class TexUnit
+{
+  public:
+    /**
+     * @param cacheBytes private texture cache capacity
+     * @param pipelineLatency fixed texture latency in cycles
+     * @param dram DRAM model charged for texture misses (not owned)
+     */
+    TexUnit(u64 cacheBytes, u32 pipelineLatency, DramModel* dram);
+
+    /**
+     * Issue a texture fetch at @p now.
+     * @return cycle at which the result is available.
+     */
+    Cycle access(Cycle now, const WarpInstr& in);
+
+    const CacheStats& cacheStats() const { return cache_.stats(); }
+
+  private:
+    DataCache cache_;
+    u32 latency_;
+    DramModel* dram_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_SM_TEX_UNIT_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG determinism, statistics
+ * container, table formatting, and CLI parsing.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace unimem {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.range(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(StatSet, SetGetAndMerge)
+{
+    StatSet a;
+    a.set("cycles", 100);
+    a.add("cycles", 50);
+    EXPECT_DOUBLE_EQ(a.get("cycles"), 150.0);
+    EXPECT_TRUE(a.has("cycles"));
+    EXPECT_FALSE(a.has("missing"));
+    EXPECT_DOUBLE_EQ(a.getOr("missing", 7.0), 7.0);
+
+    StatSet b;
+    b.set("cycles", 10);
+    b.set("instrs", 5);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("cycles"), 160.0);
+    EXPECT_DOUBLE_EQ(a.get("instrs"), 5.0);
+}
+
+TEST(StatSet, DumpProducesSortedLines)
+{
+    StatSet s;
+    s.set("b", 2);
+    s.set("a", 1);
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "a = 1\nb = 2\n");
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2.50"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 2.50  |"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Cli, ParsesFlagsAndPositional)
+{
+    const char* argv[] = {"prog", "--capacity-kb=384", "--verbose",
+                          "needle", "--ratio=1.5"};
+    CliArgs args(5, argv);
+    EXPECT_EQ(args.getInt("capacity-kb", 0), 384);
+    EXPECT_TRUE(args.getBool("verbose", false));
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio", 0.0), 1.5);
+    EXPECT_EQ(args.getString("missing", "dflt"), "dflt");
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "needle");
+}
+
+TEST(Cli, BooleanSpellings)
+{
+    const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1"};
+    CliArgs args(4, argv);
+    EXPECT_TRUE(args.getBool("a", false));
+    EXPECT_FALSE(args.getBool("b", true));
+    EXPECT_TRUE(args.getBool("c", false));
+}
+
+TEST(Log, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(Types, KbLiteral)
+{
+    EXPECT_EQ(64_KB, 65536u);
+    EXPECT_EQ(1_MB, 1048576u);
+}
+
+} // namespace
+} // namespace unimem

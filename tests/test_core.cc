@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Unit tests for the unified-memory core: partition descriptors,
+ * Fermi-like options, the conflict/arbitration model for both bank
+ * organizations, and the Section 4.5 allocation policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.hh"
+#include "core/conflict_model.hh"
+#include "core/partition.hh"
+
+namespace unimem {
+namespace {
+
+TEST(Partition, BaselineIsPaperConfiguration)
+{
+    MemoryPartition p = baselinePartition();
+    EXPECT_EQ(p.rfBytes, 256_KB);
+    EXPECT_EQ(p.sharedBytes, 64_KB);
+    EXPECT_EQ(p.cacheBytes, 64_KB);
+    EXPECT_EQ(p.total(), 384_KB);
+}
+
+TEST(Partition, FermiLikeOptionsSplitThreeToOne)
+{
+    auto opts = fermiLikeOptions(384_KB);
+    ASSERT_EQ(opts.size(), 2u);
+    EXPECT_EQ(opts[0].rfBytes, 256_KB);
+    EXPECT_EQ(opts[0].sharedBytes, 96_KB);
+    EXPECT_EQ(opts[0].cacheBytes, 32_KB);
+    EXPECT_EQ(opts[1].sharedBytes, 32_KB);
+    EXPECT_EQ(opts[1].cacheBytes, 96_KB);
+}
+
+TEST(Partition, UnifiedBankSizing)
+{
+    EXPECT_EQ(unifiedBankBytes(384_KB), 12_KB);
+    EXPECT_EQ(unifiedBankBytes(256_KB), 8_KB);
+    EXPECT_EQ(unifiedBankBytes(128_KB), 4_KB);
+}
+
+TEST(Partition, TagStorageMatchesPaperScale)
+{
+    // Paper Section 4.1: ~1.125KB for 64KB, up to 7.125KB for 384KB.
+    EXPECT_NEAR(static_cast<double>(tagStorageBytes(64_KB)), 1152.0,
+                200.0);
+    EXPECT_NEAR(static_cast<double>(tagStorageBytes(384_KB)), 7296.0,
+                600.0);
+}
+
+// ---- Conflict model --------------------------------------------------
+
+WarpInstr
+sharedLoad(const std::array<Addr, kWarpWidth>& addrs)
+{
+    WarpInstr in = instr::mem(Opcode::LdShared, 1, 0);
+    in.addr = addrs;
+    return in;
+}
+
+TEST(ConflictModel, AluNoMrfConflictWhenBanksDiffer)
+{
+    ConflictModel pm(DesignKind::Partitioned);
+    ConflictModel um(DesignKind::Unified);
+    WarpInstr in = instr::alu(5, 1, 2);
+    u8 banks[3] = {1, 2};
+    EXPECT_EQ(pm.evaluate(in, banks, 2).penalty, 0u);
+    EXPECT_EQ(um.evaluate(in, banks, 2).penalty, 0u);
+}
+
+TEST(ConflictModel, MrfBankConflictIdenticalInBothDesigns)
+{
+    // Two operands in the same bank: paper Section 4.2 says the register
+    // mapping is unchanged by unification.
+    ConflictModel pm(DesignKind::Partitioned);
+    ConflictModel um(DesignKind::Unified);
+    WarpInstr in = instr::alu(5, 0, 4); // r0 and r4 both map to bank 0
+    u8 banks[3] = {0, 0};
+    EXPECT_EQ(pm.evaluate(in, banks, 2).penalty, 1u);
+    EXPECT_EQ(um.evaluate(in, banks, 2).penalty, 1u);
+    EXPECT_EQ(pm.evaluate(in, banks, 2).maxPerBank, 2u);
+}
+
+TEST(ConflictModel, PartitionedUnitStrideSharedConflictFree)
+{
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = i * 4; // one word per bank
+    ConflictModel pm(DesignKind::Partitioned);
+    ConflictOutcome out = pm.evaluate(sharedLoad(a), nullptr, 0);
+    EXPECT_EQ(out.penalty, 0u);
+    EXPECT_EQ(out.distinctWords, 32u);
+}
+
+TEST(ConflictModel, PartitionedPowerOfTwoStrideConflicts)
+{
+    // Stride of 32 words: all lanes hit bank 0 -> 31 penalty cycles.
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = static_cast<Addr>(i) * 32 * 4;
+    ConflictModel pm(DesignKind::Partitioned);
+    ConflictOutcome out = pm.evaluate(sharedLoad(a), nullptr, 0);
+    EXPECT_EQ(out.penalty, 31u);
+    EXPECT_EQ(out.maxPerBank, 32u);
+}
+
+TEST(ConflictModel, BroadcastIsFree)
+{
+    std::array<Addr, kWarpWidth> a{};
+    a.fill(0x40);
+    ConflictModel pm(DesignKind::Partitioned);
+    ConflictModel um(DesignKind::Unified);
+    EXPECT_EQ(pm.evaluate(sharedLoad(a), nullptr, 0).penalty, 0u);
+    EXPECT_EQ(um.evaluate(sharedLoad(a), nullptr, 0).penalty, 0u);
+}
+
+TEST(ConflictModel, UnifiedUnitStrideSharedConflictFree)
+{
+    // 32 lanes x 4B = 8 chunks, one per cluster.
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = i * 4;
+    ConflictModel um(DesignKind::Unified);
+    ConflictOutcome out = um.evaluate(sharedLoad(a), nullptr, 0);
+    EXPECT_EQ(out.penalty, 0u);
+    EXPECT_EQ(out.distinctChunks, 8u);
+}
+
+TEST(ConflictModel, UnifiedClusterSerializationIsCoarser)
+{
+    // Stride of 132B: words are lane*33, i.e. one per partitioned bank
+    // (conflict-free), but the 16-byte chunks land four-deep in each
+    // cluster, so the simple unified design pays 3 cycles per access
+    // ("a warp's shared memory accesses must coalesce to 8 banks rather
+    // than 32", paper Section 4.2).
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = static_cast<Addr>(i) * 132;
+    ConflictModel pm(DesignKind::Partitioned);
+    ConflictModel um(DesignKind::Unified);
+    EXPECT_EQ(pm.evaluate(sharedLoad(a), nullptr, 0).penalty, 0u);
+    ConflictOutcome u = um.evaluate(sharedLoad(a), nullptr, 0);
+    EXPECT_EQ(u.penalty, 3u);
+
+    // A 128B stride hits a single bank in both organizations.
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = static_cast<Addr>(i) * 128;
+    EXPECT_EQ(pm.evaluate(sharedLoad(a), nullptr, 0).penalty, 31u);
+    EXPECT_EQ(um.evaluate(sharedLoad(a), nullptr, 0).penalty, 31u);
+}
+
+TEST(ConflictModel, AggressiveUnifiedRelaxesClusterLimit)
+{
+    // 16-byte stride: 32 distinct chunks, 4 per cluster, all four banks
+    // of each cluster used once -> simple design pays 3, aggressive 0.
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = static_cast<Addr>(i) * 16;
+    ConflictModel simple(DesignKind::Unified, false);
+    ConflictModel aggressive(DesignKind::Unified, true);
+    EXPECT_EQ(simple.evaluate(sharedLoad(a), nullptr, 0).penalty, 3u);
+    EXPECT_EQ(aggressive.evaluate(sharedLoad(a), nullptr, 0).penalty, 0u);
+}
+
+TEST(ConflictModel, ArbitrationConflictRegisterVsMemory)
+{
+    // A unified-design memory instruction whose MRF read lands in the
+    // same bank as its data chunk: the paper's arbitration conflict.
+    // Chunk k=0 -> cluster 0, bank 0; register read in bank 0 collides.
+    std::array<Addr, kWarpWidth> a{};
+    a.fill(0); // one chunk: cluster 0, bank 0
+    WarpInstr in = sharedLoad(a);
+    u8 banks[3] = {0};
+    ConflictModel um(DesignKind::Unified);
+    EXPECT_EQ(um.evaluate(in, banks, 1).penalty, 1u);
+    // In a different bank there is no arbitration conflict.
+    u8 banks2[3] = {1};
+    EXPECT_EQ(um.evaluate(in, banks2, 1).penalty, 0u);
+    // The partitioned design keeps registers in a separate structure.
+    ConflictModel pm(DesignKind::Partitioned);
+    EXPECT_EQ(pm.evaluate(in, banks, 1).penalty, 0u);
+}
+
+TEST(ConflictModel, GlobalLineAccessConflictFreeInPartitioned)
+{
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = i * 4;
+    WarpInstr in = instr::mem(Opcode::LdGlobal, 1, 0);
+    in.addr = a;
+    ConflictModel pm(DesignKind::Partitioned);
+    ConflictOutcome out = pm.evaluate(in, nullptr, 0);
+    EXPECT_EQ(out.penalty, 0u);
+    EXPECT_EQ(out.maxPerBank, 1u);
+}
+
+TEST(ConflictModel, TextureBypassesDataBanks)
+{
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = static_cast<Addr>(i) * 128;
+    WarpInstr in = instr::mem(Opcode::Tex, 1, 0);
+    in.addr = a;
+    ConflictModel um(DesignKind::Unified);
+    EXPECT_EQ(um.evaluate(in, nullptr, 0).penalty, 0u);
+    EXPECT_EQ(um.evaluate(in, nullptr, 0).distinctChunks, 0u);
+}
+
+
+TEST(ConflictModel, StoreDataOperandCountsAsAccess)
+{
+    // A scratchpad store reads address + data registers from the MRF;
+    // two reads in the same bank conflict like any other instruction.
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = i * 4;
+    WarpInstr st = instr::mem(Opcode::StShared, 4, 0);
+    st.addr = a;
+    u8 banks[3] = {2, 2};
+    ConflictModel pm(DesignKind::Partitioned);
+    EXPECT_EQ(pm.evaluate(st, banks, 2).penalty, 1u);
+}
+
+TEST(ConflictModel, UnifiedGlobalLinesUseOneBankPerCluster)
+{
+    // Four consecutive lines map to the four banks: conflict-free; four
+    // lines with a 512B stride all map to bank 0: serialized.
+    ConflictModel um(DesignKind::Unified);
+    WarpInstr ld = instr::mem(Opcode::LdGlobal, 1, 0);
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        ld.addr[lane] = static_cast<Addr>(lane / 8) * 128 + (lane % 8) * 16;
+    EXPECT_EQ(um.evaluate(ld, nullptr, 0).penalty, 0u);
+
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        ld.addr[lane] = static_cast<Addr>(lane / 8) * 512 + (lane % 8) * 16;
+    EXPECT_EQ(um.evaluate(ld, nullptr, 0).penalty, 3u);
+}
+
+TEST(ConflictModel, UnifiedGlobalArbitrationWithRegisterBank)
+{
+    // One line (bank 0 in every cluster) + a register read in bank 0:
+    // an arbitration conflict; register in bank 1: none.
+    ConflictModel um(DesignKind::Unified);
+    WarpInstr ld = instr::mem(Opcode::LdGlobal, 1, 0);
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        ld.addr[lane] = lane * 4; // line 0 -> bank 0
+    u8 bank0[3] = {0};
+    u8 bank1[3] = {1};
+    EXPECT_EQ(um.evaluate(ld, bank0, 1).penalty, 1u);
+    EXPECT_EQ(um.evaluate(ld, bank1, 1).penalty, 0u);
+}
+
+TEST(ConflictModel, BarrierHasNoAccesses)
+{
+    ConflictModel um(DesignKind::Unified);
+    ConflictOutcome out = um.evaluate(instr::bar(), nullptr, 0);
+    EXPECT_EQ(out.penalty, 0u);
+    EXPECT_EQ(out.maxPerBank, 0u);
+    EXPECT_EQ(out.distinctChunks, 0u);
+}
+
+TEST(ConflictModel, FermiLikeBehavesAsPartitioned)
+{
+    ConflictModel fermi(DesignKind::FermiLike);
+    ConflictModel part(DesignKind::Partitioned);
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = static_cast<Addr>(i) * 132;
+    WarpInstr ld = sharedLoad(a);
+    u8 banks[3] = {0, 0};
+    EXPECT_EQ(fermi.evaluate(ld, banks, 2).penalty,
+              part.evaluate(ld, banks, 2).penalty);
+    EXPECT_EQ(fermi.evaluate(ld, banks, 2).maxPerBank,
+              part.evaluate(ld, banks, 2).maxPerBank);
+}
+
+TEST(ConflictModel, RegPenaltySplitMatchesOpcodeKind)
+{
+    // Compute instructions attribute conflicts to the issue stage;
+    // memory instructions to the access port.
+    ConflictModel um(DesignKind::Unified);
+    u8 banks[3] = {0, 0};
+    WarpInstr alu_in = instr::alu(1, 0, 4);
+    ConflictOutcome alu_out = um.evaluate(alu_in, banks, 2);
+    EXPECT_EQ(alu_out.regPenalty, alu_out.penalty);
+    EXPECT_GT(alu_out.penalty, 0u);
+
+    std::array<Addr, kWarpWidth> a{};
+    for (u32 i = 0; i < kWarpWidth; ++i)
+        a[i] = i * 4;
+    WarpInstr ld = sharedLoad(a);
+    ConflictOutcome mem_out = um.evaluate(ld, banks, 2);
+    EXPECT_EQ(mem_out.regPenalty, 0u);
+}
+// ---- Allocation policy -----------------------------------------------
+
+KernelParams
+kernelWith(u32 regs, u32 sharedPerCta, u32 ctaThreads = 256)
+{
+    KernelParams kp;
+    kp.name = "test";
+    kp.regsPerThread = regs;
+    kp.sharedBytesPerCta = sharedPerCta;
+    kp.ctaThreads = ctaThreads;
+    kp.gridCtas = 64;
+    return kp;
+}
+
+TEST(Allocation, UnifiedPartitionSumsToCapacity)
+{
+    AllocationDecision d = allocateUnified(kernelWith(33, 5120), 384_KB);
+    ASSERT_TRUE(d.launch.feasible);
+    EXPECT_EQ(d.partition.total(), 384_KB);
+    EXPECT_EQ(d.design, DesignKind::Unified);
+}
+
+TEST(Allocation, PaperFigure8Bfs)
+{
+    // bfs: 36KB of registers, no shared, ~348KB cache.
+    AllocationDecision d = allocateUnified(kernelWith(9, 0), 384_KB);
+    EXPECT_EQ(d.partition.rfBytes, 36_KB);
+    EXPECT_EQ(d.partition.sharedBytes, 0u);
+    EXPECT_EQ(d.partition.cacheBytes, 348_KB);
+}
+
+TEST(Allocation, PaperFigure8Dgemm)
+{
+    // dgemm: 228KB registers + 66.5KB shared + remainder cache.
+    AllocationDecision d = allocateUnified(kernelWith(57, 17024),
+                                           384_KB);
+    EXPECT_EQ(d.partition.rfBytes, 228_KB);
+    EXPECT_EQ(d.partition.sharedBytes, 4u * 17024);
+    EXPECT_EQ(d.launch.threads, 1024u);
+}
+
+TEST(Allocation, FermiLikeReturnsBothOptions)
+{
+    auto opts = allocateFermiLike(kernelWith(20, 20000), 384_KB);
+    ASSERT_EQ(opts.size(), 2u);
+    // 96KB shared fits 4 CTAs; 32KB shared fits only 1.
+    EXPECT_TRUE(opts[0].launch.feasible);
+    EXPECT_TRUE(opts[1].launch.feasible);
+    EXPECT_GT(opts[0].launch.threads, opts[1].launch.threads);
+}
+
+TEST(Allocation, PartitionedKeepsPhysicalCapacities)
+{
+    AllocationDecision d = allocatePartitioned(
+        kernelWith(20, 4096), baselinePartition());
+    EXPECT_EQ(d.partition.cacheBytes, 64_KB);
+    EXPECT_TRUE(d.launch.feasible);
+}
+
+} // namespace
+} // namespace unimem

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the Section 5.2 energy model: Table 4 reproduction,
+ * wiring overhead, leakage scaling, DRAM energy, and calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "sim/simulator.hh"
+
+namespace unimem {
+namespace {
+
+TEST(BankEnergy, ReproducesTable4)
+{
+    // Paper Table 4 (pJ per 16-byte access), tolerance 5%.
+    EXPECT_NEAR(bankReadEnergy(8_KB) * 1e12, 9.8, 0.5);
+    EXPECT_NEAR(bankWriteEnergy(8_KB) * 1e12, 11.8, 0.6);
+    EXPECT_NEAR(bankReadEnergy(2_KB) * 1e12, 3.9, 0.2);
+    EXPECT_NEAR(bankWriteEnergy(2_KB) * 1e12, 5.1, 0.3);
+    EXPECT_NEAR(bankReadEnergy(12_KB) * 1e12, 12.1, 0.6);
+    EXPECT_NEAR(bankWriteEnergy(12_KB) * 1e12, 14.9, 0.8);
+}
+
+TEST(BankEnergy, MonotonicInCapacity)
+{
+    double prev = 0;
+    for (u64 kb = 1; kb <= 16; ++kb) {
+        double e = bankReadEnergy(kb * 1024);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(BankEnergy, WriteCostsMoreThanRead)
+{
+    for (u64 kb : {2, 4, 8, 12})
+        EXPECT_GT(bankWriteEnergy(kb * 1024), bankReadEnergy(kb * 1024));
+}
+
+EnergyInputs
+someInputs(DesignKind design)
+{
+    EnergyInputs in;
+    in.design = design;
+    in.partition = baselinePartition();
+    in.cycles = 1000000;
+    in.mrfReads = 400000;
+    in.mrfWrites = 300000;
+    in.sharedReadBytes = 10_MB;
+    in.sharedWriteBytes = 5_MB;
+    in.cacheReadBytes = 8_MB;
+    in.cacheWriteBytes = 4_MB;
+    in.dramBytes = 2_MB;
+    return in;
+}
+
+TEST(EnergyModel, UnifiedPaysWiringOverheadOnDataOnly)
+{
+    EnergyParams p;
+    EnergyInputs part = someInputs(DesignKind::Partitioned);
+    EnergyInputs uni = someInputs(DesignKind::Unified);
+    // Same partition sizes: unified banks are total/32 = 12KB.
+    double e_part = bankAccessEnergy(part, p);
+    double e_uni = bankAccessEnergy(uni, p);
+    // Unified: bigger banks for data + wiring factor, bigger banks for
+    // MRF too (12KB vs 8KB) -> strictly more bank energy.
+    EXPECT_GT(e_uni, e_part);
+
+    // With zero data traffic, the difference is only the bank size (no
+    // wiring factor on MRF accesses).
+    part.sharedReadBytes = part.sharedWriteBytes = 0;
+    part.cacheReadBytes = part.cacheWriteBytes = 0;
+    uni.sharedReadBytes = uni.sharedWriteBytes = 0;
+    uni.cacheReadBytes = uni.cacheWriteBytes = 0;
+    double mrf_part = bankAccessEnergy(part, p);
+    double mrf_uni = bankAccessEnergy(uni, p);
+    double expect_ratio = bankReadEnergy(12_KB) / bankReadEnergy(8_KB);
+    EXPECT_NEAR(mrf_uni / mrf_part, expect_ratio, 0.05);
+}
+
+TEST(EnergyModel, DramEnergyIs40pJPerBit)
+{
+    EnergyParams p;
+    EnergyInputs in;
+    in.partition = baselinePartition();
+    in.cycles = 1000;
+    in.dramBytes = 1000;
+    EnergyBreakdown b = computeEnergy(in, p, 1.0);
+    EXPECT_NEAR(b.dramJ, 1000.0 * 8 * 40e-12, 1e-12);
+}
+
+TEST(EnergyModel, LeakageScalesWithCapacityAndTime)
+{
+    EnergyParams p;
+    EnergyInputs big;
+    big.partition = baselinePartition(); // 384KB
+    big.cycles = 1000000;                // 1 ms at 1GHz
+    EnergyInputs small = big;
+    small.partition = MemoryPartition{96_KB, 16_KB, 16_KB}; // 128KB
+
+    EnergyBreakdown bb = computeEnergy(big, p, 1.0);
+    EnergyBreakdown sb = computeEnergy(small, p, 1.0);
+    // 384KB baseline leaks 0.9W; 128KB leaks 0.9 - 256*2.37mW.
+    EXPECT_NEAR(bb.leakageJ, 0.9e-3, 1e-6);
+    EXPECT_NEAR(sb.leakageJ, (0.9 - 256 * 2.37e-3) * 1e-3, 1e-6);
+}
+
+TEST(EnergyModel, FasterRunLeaksLess)
+{
+    EnergyParams p;
+    EnergyInputs slow = someInputs(DesignKind::Partitioned);
+    EnergyInputs fast = slow;
+    fast.cycles = slow.cycles / 2;
+    EXPECT_LT(computeEnergy(fast, p, 1.0).leakageJ,
+              computeEnergy(slow, p, 1.0).leakageJ);
+}
+
+TEST(EnergyModel, CalibrationRecoversPaperDynamicPower)
+{
+    EnergyParams p;
+    EnergyInputs base = someInputs(DesignKind::Partitioned);
+    double other = calibrateOtherDynamicPower(base, p);
+    // other + bank power == 1.9W by construction.
+    double seconds = static_cast<double>(base.cycles) / p.frequencyHz;
+    double bank_power = bankAccessEnergy(base, p) / seconds;
+    EXPECT_NEAR(other + bank_power, p.smDynamicPowerW, 1e-9);
+}
+
+TEST(EnergyModel, CalibrationClampsAtFloor)
+{
+    EnergyParams p;
+    EnergyInputs base = someInputs(DesignKind::Partitioned);
+    base.cycles = 100; // absurdly short -> bank power dominates
+    double other = calibrateOtherDynamicPower(base, p);
+    EXPECT_GE(other, p.minOtherDynamicPowerW);
+}
+
+TEST(EnergyModel, TotalIsSumOfParts)
+{
+    EnergyParams p;
+    EnergyInputs in = someInputs(DesignKind::Unified);
+    EnergyBreakdown b = computeEnergy(in, p, 1.2);
+    EXPECT_NEAR(b.total(),
+                b.coreDynamicJ + b.bankAccessJ + b.leakageJ + b.dramJ,
+                1e-15);
+    EXPECT_GT(b.coreDynamicJ, 0.0);
+    EXPECT_GT(b.bankAccessJ, 0.0);
+}
+
+
+TEST(EnergyModel, WiringFactorIsExactlyTenPercent)
+{
+    // Same bank size in both designs (12KB): partitioned with a 384KB
+    // cache vs a 384KB unified pool. Data-bank energy must differ by
+    // exactly the 1.10 wiring factor.
+    EnergyParams p;
+    EnergyInputs part;
+    part.design = DesignKind::Partitioned;
+    part.partition = MemoryPartition{0, 0, 384_KB};
+    part.cacheReadBytes = 1_MB;
+    EnergyInputs uni = part;
+    uni.design = DesignKind::Unified;
+    double e_part = bankAccessEnergy(part, p);
+    double e_uni = bankAccessEnergy(uni, p);
+    EXPECT_NEAR(e_uni / e_part, 1.10, 1e-9);
+}
+
+TEST(EnergyModel, ZeroCapacityStructuresCostNothing)
+{
+    EnergyParams p;
+    EnergyInputs in;
+    in.partition = MemoryPartition{256_KB, 0, 0};
+    in.sharedReadBytes = 1_MB; // no scratchpad exists: charged nowhere
+    in.cacheWriteBytes = 1_MB;
+    EXPECT_DOUBLE_EQ(bankAccessEnergy(in, p), 0.0);
+}
+
+TEST(EnergyModel, MrfAccessTouchesEveryCluster)
+{
+    EnergyParams p;
+    EnergyInputs in;
+    in.partition = baselinePartition();
+    in.mrfReads = 1000;
+    double e = bankAccessEnergy(in, p);
+    EXPECT_NEAR(e, 1000.0 * kNumClusters * bankReadEnergy(8_KB), 1e-15);
+}
+
+TEST(EnergyModel, EnergyInputsMappingFromSmStats)
+{
+    SmStats s;
+    s.cycles = 12345;
+    s.rf.mrfReads = 10;
+    s.rf.mrfWrites = 20;
+    s.sharedReadBytes = 100;
+    s.sharedWriteBytes = 200;
+    s.cacheReadBytes = 300;
+    s.cacheWriteBytes = 400;
+    s.dram.readSectors = 5;
+    s.texDram.readSectors = 3;
+
+    AllocationDecision d;
+    d.design = DesignKind::Unified;
+    d.partition = MemoryPartition{100_KB, 50_KB, 234_KB};
+
+    EnergyInputs in = energyInputsOf(s, d);
+    EXPECT_EQ(in.cycles, 12345u);
+    EXPECT_EQ(in.mrfReads, 10u);
+    EXPECT_EQ(in.mrfWrites, 20u);
+    EXPECT_EQ(in.sharedReadBytes, 100u);
+    EXPECT_EQ(in.cacheWriteBytes, 400u);
+    EXPECT_EQ(in.dramBytes, 8u * kDramSectorBytes);
+    EXPECT_EQ(in.design, DesignKind::Unified);
+    EXPECT_EQ(in.partition.total(), 384_KB);
+}
+
+} // namespace
+} // namespace unimem

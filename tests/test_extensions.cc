@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the extension features: write-back cache mode (the paper's
+ * Section 4.3/4.4 design-choice ablation), multi-kernel sequences with
+ * per-kernel repartitioning, fixed-partition unified runs, and the
+ * autotuned thread count helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/registry.hh"
+#include "mem/cache.hh"
+#include "sim/experiments.hh"
+#include "sim/multi_kernel.hh"
+
+namespace unimem {
+namespace {
+
+// ---- write-back cache semantics ---------------------------------------
+
+TEST(WriteBackCache, WriteHitMarksDirty)
+{
+    DataCache c(8_KB, 4, WritePolicy::WriteBack);
+    c.fill(0x100 & ~127ull);
+    EXPECT_FALSE(c.isDirty(0x100 & ~127ull));
+    EXPECT_TRUE(c.write(0x100 & ~127ull));
+    EXPECT_TRUE(c.isDirty(0x100 & ~127ull));
+    EXPECT_EQ(c.dirtyLineCount(), 1u);
+}
+
+TEST(WriteBackCache, WriteThroughNeverDirty)
+{
+    DataCache c(8_KB, 4, WritePolicy::WriteThrough);
+    c.fill(0);
+    c.write(0);
+    EXPECT_FALSE(c.isDirty(0));
+    EXPECT_EQ(c.dirtyLineCount(), 0u);
+    EXPECT_EQ(c.invalidateAll(), 0u);
+}
+
+TEST(WriteBackCache, DirtyEvictionReported)
+{
+    // One set: 4 lines capacity at assoc 4.
+    DataCache c(512, 4, WritePolicy::WriteBack);
+    for (Addr l = 0; l < 4; ++l) {
+        c.fill(l * 128);
+        c.write(l * 128);
+    }
+    EXPECT_EQ(c.dirtyLineCount(), 4u);
+    // Fifth fill evicts the LRU line, which is dirty.
+    EXPECT_TRUE(c.fill(4 * 128));
+    EXPECT_EQ(c.stats().dirtyEvictions, 1u);
+    EXPECT_EQ(c.dirtyLineCount(), 3u);
+}
+
+TEST(WriteBackCache, CleanEvictionNotReported)
+{
+    DataCache c(512, 4, WritePolicy::WriteBack);
+    for (Addr l = 0; l < 4; ++l)
+        c.fill(l * 128);
+    EXPECT_FALSE(c.fill(4 * 128));
+    EXPECT_EQ(c.stats().dirtyEvictions, 0u);
+}
+
+TEST(WriteBackCache, InvalidateAllReturnsDirtyCount)
+{
+    DataCache c(8_KB, 4, WritePolicy::WriteBack);
+    for (Addr l = 0; l < 8; ++l)
+        c.fill(l * 128);
+    for (Addr l = 0; l < 3; ++l) {
+        c.write(l * 128);
+    }
+    EXPECT_EQ(c.invalidateAll(), 3u);
+    EXPECT_EQ(c.dirtyLineCount(), 0u);
+    EXPECT_FALSE(c.contains(0));
+}
+
+TEST(WriteBackCache, MarkDirtyPanicsOnWriteThrough)
+{
+    DataCache c(8_KB, 4, WritePolicy::WriteThrough);
+    c.fill(0);
+    EXPECT_DEATH({ c.markDirty(0); }, "markDirty");
+}
+
+// ---- SM-level write policy --------------------------------------------
+
+TEST(WriteBackSm, StoresLeaveDirtyState)
+{
+    RunSpec wb;
+    wb.cachePolicy = WritePolicy::WriteBack;
+    SimResult r = simulateBenchmark("vectoradd", 0.1, wb);
+    EXPECT_GT(r.sm.dirtyLinesAtEnd, 0u);
+
+    RunSpec wt;
+    SimResult rt = simulateBenchmark("vectoradd", 0.1, wt);
+    EXPECT_EQ(rt.sm.dirtyLinesAtEnd, 0u);
+    EXPECT_EQ(rt.sm.cache.dirtyEvictions, 0u);
+}
+
+TEST(WriteBackSm, CoalescesRepeatedStoreTraffic)
+{
+    // vectoradd overwrites output lines 4 times; write-back coalesces
+    // those into one eventual writeback, write-through sends each.
+    RunSpec wb;
+    wb.cachePolicy = WritePolicy::WriteBack;
+    RunSpec wt;
+    SimResult rb = simulateBenchmark("vectoradd", 0.1, wb);
+    SimResult rt = simulateBenchmark("vectoradd", 0.1, wt);
+    EXPECT_LT(rb.sm.dram.writeSectors + rb.sm.dirtyLinesAtEnd * 4,
+              rt.sm.dram.writeSectors);
+}
+
+TEST(WriteBackSm, WorkIsIdenticalAcrossPolicies)
+{
+    for (const char* name : {"srad", "nn"}) {
+        RunSpec wb;
+        wb.cachePolicy = WritePolicy::WriteBack;
+        RunSpec wt;
+        SimResult rb = simulateBenchmark(name, 0.1, wb);
+        SimResult rt = simulateBenchmark(name, 0.1, wt);
+        EXPECT_EQ(rb.sm.warpInstrs, rt.sm.warpInstrs) << name;
+        EXPECT_EQ(rb.sm.threadInstrs, rt.sm.threadInstrs) << name;
+    }
+}
+
+// ---- fixed-partition unified runs --------------------------------------
+
+TEST(FixedPartition, UsesGivenSplitWithUnifiedBanks)
+{
+    RunSpec spec;
+    spec.design = DesignKind::Unified;
+    spec.unifiedUseFixedPartition = true;
+    spec.partition = MemoryPartition{128_KB, 64_KB, 192_KB};
+    SimResult r = simulateBenchmark("sgemv", 0.1, spec);
+    EXPECT_EQ(r.alloc.partition.cacheBytes, 192_KB);
+    EXPECT_EQ(r.alloc.design, DesignKind::Unified);
+}
+
+// ---- multi-kernel sequences --------------------------------------------
+
+std::vector<KernelStage>
+mixedStages()
+{
+    return {{"needle", 0.1}, {"bfs", 0.1}, {"dgemm", 0.1}};
+}
+
+TEST(MultiKernel, StaticCompromiseCoversAllStages)
+{
+    MemoryPartition p = staticCompromisePartition(mixedStages(), 384_KB);
+    // Must cover dgemm's registers (228KB) and needle's scratchpad
+    // (272KB)? They cannot both fit in 384KB: the register file gives
+    // way (the compiler spills), the scratchpad demand must be met.
+    EXPECT_EQ(p.sharedBytes, 32u * 8712); // needle: 32 CTAs' tiles
+    EXPECT_EQ(p.total(), 384_KB);
+    EXPECT_LE(p.rfBytes + p.sharedBytes, 384_KB);
+}
+
+TEST(MultiKernel, SequenceRunsAllStages)
+{
+    SequenceResult r = runSequence(
+        mixedStages(), ReconfigPolicy::UnifiedPerKernel, 384_KB);
+    ASSERT_EQ(r.stages.size(), 3u);
+    EXPECT_EQ(r.reconfigs, 2u);
+    Cycle sum = 0;
+    for (const StageResult& st : r.stages)
+        sum += st.cycles + st.reconfigCycles;
+    EXPECT_EQ(sum, r.totalCycles);
+}
+
+TEST(MultiKernel, WriteThroughReconfigurationIsFree)
+{
+    SequenceResult r = runSequence(
+        mixedStages(), ReconfigPolicy::UnifiedPerKernel, 384_KB,
+        WritePolicy::WriteThrough);
+    for (const StageResult& st : r.stages)
+        EXPECT_EQ(st.reconfigCycles, 0u) << st.benchmark;
+}
+
+TEST(MultiKernel, WriteBackReconfigurationPaysDrain)
+{
+    SequenceResult r = runSequence(
+        mixedStages(), ReconfigPolicy::UnifiedPerKernel, 384_KB,
+        WritePolicy::WriteBack);
+    Cycle drain = 0;
+    for (const StageResult& st : r.stages)
+        drain += st.reconfigCycles;
+    EXPECT_GT(drain, 0u);
+}
+
+TEST(MultiKernel, PerKernelBeatsOrMatchesStatic)
+{
+    // With stages that want very different splits, per-kernel
+    // repartitioning must not lose to the static compromise (small
+    // tolerance for scheduler noise).
+    SequenceResult stat = runSequence(
+        mixedStages(), ReconfigPolicy::UnifiedStatic, 384_KB);
+    SequenceResult per = runSequence(
+        mixedStages(), ReconfigPolicy::UnifiedPerKernel, 384_KB);
+    EXPECT_LE(static_cast<double>(per.totalCycles),
+              static_cast<double>(stat.totalCycles) * 1.02);
+}
+
+TEST(MultiKernel, UnifiedBeatsPartitionedOnMixedDemands)
+{
+    SequenceResult base = runSequence(
+        mixedStages(), ReconfigPolicy::PartitionedBaseline);
+    SequenceResult per = runSequence(
+        mixedStages(), ReconfigPolicy::UnifiedPerKernel, 384_KB);
+    EXPECT_LT(per.totalCycles, base.totalCycles);
+}
+
+TEST(MultiKernel, PolicyNames)
+{
+    EXPECT_STREQ(reconfigPolicyName(ReconfigPolicy::PartitionedBaseline),
+                 "partitioned");
+    EXPECT_STREQ(reconfigPolicyName(ReconfigPolicy::UnifiedPerKernel),
+                 "unified-per-kernel");
+}
+
+// ---- autotuning ---------------------------------------------------------
+
+TEST(Autotune, NeverWorseThanMaxThreads)
+{
+    for (const char* name : {"needle", "bfs"}) {
+        SimResult maxed = runUnified(name, 0.15, 384_KB);
+        SimResult tuned = runUnifiedAutotuned(name, 0.15, 384_KB);
+        EXPECT_LE(tuned.cycles(), maxed.cycles()) << name;
+    }
+}
+
+} // namespace
+} // namespace unimem

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Structural tests of individual workload models: these pin the
+ * *mechanisms* behind each benchmark's Table 1 behaviour (broadcasts,
+ * line revisits, scatter widths, barrier cadence, fp64 widths), so a
+ * kernel edit that silently changes the memory character fails here
+ * before it shows up as a calibration drift.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kernels/registry.hh"
+#include "kernels/workloads.hh"
+
+namespace unimem {
+namespace {
+
+std::vector<WarpInstr>
+traceOf(const KernelModel& k, u32 ctaId = 0, u32 warpInCta = 0)
+{
+    WarpCtx ctx;
+    ctx.ctaId = ctaId;
+    ctx.warpInCta = warpInCta;
+    ctx.warpsPerCta = k.params().warpsPerCta();
+    ctx.threadsPerCta = k.params().ctaThreads;
+    ctx.seed = 1;
+    auto prog = k.warpProgram(ctx);
+    std::vector<WarpInstr> out;
+    while (prog->fill(out)) {
+    }
+    return out;
+}
+
+u32
+distinctLanes(const WarpInstr& in)
+{
+    std::set<Addr> s;
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        if (in.laneActive(lane))
+            s.insert(in.addr[lane]);
+    return static_cast<u32>(s.size());
+}
+
+TEST(KernelStructure, NeedleBarrierCadence)
+{
+    // One barrier per anti-diagonal plus the prologue barrier.
+    for (u32 bf : {16u, 32u, 64u}) {
+        auto k = makeNeedle(bf, 0.1);
+        u32 bars = 0;
+        for (const WarpInstr& in : traceOf(*k))
+            if (in.op == Opcode::Bar)
+                ++bars;
+        EXPECT_EQ(bars, 2 * bf - 1 + 1) << "bf " << bf;
+    }
+}
+
+TEST(KernelStructure, NeedleBorderColumnOverfetches)
+{
+    // The border-column load touches many distinct lines with few bytes
+    // each (the source of Table 1's 0.85 no-cache entry).
+    auto k = makeNeedle(32, 0.1);
+    bool found = false;
+    for (const WarpInstr& in : traceOf(*k)) {
+        if (in.op != Opcode::LdGlobal)
+            continue;
+        std::set<Addr> lines;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            if (in.laneActive(lane))
+                lines.insert(in.addr[lane] / kCacheLineBytes);
+        if (lines.size() >= 16)
+            found = true;
+    }
+    EXPECT_TRUE(found) << "no column-style overfetching load";
+}
+
+TEST(KernelStructure, MummerTreeWalksBroadcast)
+{
+    // Warps traverse the suffix tree together: tree loads are
+    // broadcasts (one distinct address across the warp).
+    auto k = createBenchmark("gpu-mummer", 0.1);
+    u32 broadcasts = 0, loads = 0;
+    for (const WarpInstr& in : traceOf(*k)) {
+        if (in.op != Opcode::LdGlobal)
+            continue;
+        ++loads;
+        if (distinctLanes(in) == 1)
+            ++broadcasts;
+    }
+    EXPECT_GT(loads, 0u);
+    // Tree reads dominate (10 per query) over query-stream reads.
+    EXPECT_GT(static_cast<double>(broadcasts) / loads, 0.7);
+}
+
+TEST(KernelStructure, NnRereadsTheSameRecordEveryQuery)
+{
+    auto k = createBenchmark("nn", 0.1);
+    std::map<Addr, u32> reads;
+    for (const WarpInstr& in : traceOf(*k))
+        if (in.op == Opcode::LdGlobal)
+            ++reads[in.addr[0]];
+    ASSERT_EQ(reads.size(), 1u) << "one record per thread";
+    EXPECT_EQ(reads.begin()->second, 20u) << "20 queries";
+}
+
+TEST(KernelStructure, VectorAddRevisitsLines)
+{
+    // Each 512B group is touched by four consecutive instructions
+    // (j = 0..3), the redundancy a small cache filters.
+    auto k = createBenchmark("vectoradd", 0.1);
+    std::map<Addr, u32> group_touches;
+    for (const WarpInstr& in : traceOf(*k))
+        if (in.op == Opcode::LdGlobal)
+            ++group_touches[in.addr[0] / 512];
+    for (const auto& [group, touches] : group_touches)
+        EXPECT_EQ(touches, 4u) << "group " << group;
+}
+
+TEST(KernelStructure, DgemmIsDoublePrecision)
+{
+    auto k = createBenchmark("dgemm", 0.1);
+    for (const WarpInstr& in : traceOf(*k)) {
+        if (in.op == Opcode::LdGlobal || in.op == Opcode::StGlobal ||
+            in.op == Opcode::LdShared || in.op == Opcode::StShared) {
+            EXPECT_EQ(in.accessBytes, 8u) << "fp64 accesses";
+        }
+    }
+}
+
+TEST(KernelStructure, DgemmUsesWideAccumulatorSet)
+{
+    // Register blocking: many distinct destination registers near the
+    // top of the register budget.
+    auto k = createBenchmark("dgemm", 0.1);
+    std::set<RegId> dsts;
+    for (const WarpInstr& in : traceOf(*k))
+        if ((in.op == Opcode::FpAlu) && in.hasDst() && in.dst >= 40)
+            dsts.insert(in.dst);
+    EXPECT_GE(dsts.size(), 12u);
+}
+
+TEST(KernelStructure, AesLookupsAreNearlyConflictFree)
+{
+    // Tuned T-box accesses: distinct partitioned banks for almost all
+    // lanes (Section 2.1's "common optimization").
+    auto k = createBenchmark("aes", 0.1);
+    u64 lookups = 0, conflicted = 0;
+    for (const WarpInstr& in : traceOf(*k)) {
+        if (in.op != Opcode::LdShared)
+            continue;
+        ++lookups;
+        std::map<Addr, u32> bank_count;
+        std::set<Addr> words;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            if (in.laneActive(lane))
+                words.insert(in.addr[lane] / 4);
+        for (Addr w : words)
+            ++bank_count[w % 32];
+        for (const auto& [bank, count] : bank_count)
+            if (count > 1) {
+                ++conflicted;
+                break;
+            }
+    }
+    ASSERT_GT(lookups, 0u);
+    EXPECT_LT(static_cast<double>(conflicted) / lookups, 0.35);
+}
+
+TEST(KernelStructure, PcrStrideDoublesPerStep)
+{
+    // The delta-chain: step s's far read equals step s+1's near read.
+    auto k = createBenchmark("pcr", 0.1);
+    std::vector<Addr> far, near;
+    // Collect the first array's (kArrayBase) reads per step: reads come
+    // in triplets (delta/2, delta, 2*delta).
+    std::vector<Addr> a_reads;
+    for (const WarpInstr& in : traceOf(*k))
+        if (in.op == Opcode::LdGlobal && in.addr[0] < (1ull << 31))
+            a_reads.push_back(in.addr[0]);
+    ASSERT_GE(a_reads.size(), 8u);
+    // reads per step on array a: delta/2, delta, 2delta, rmw-base.
+    for (size_t step = 0; step + 1 < a_reads.size() / 4; ++step) {
+        Addr two_delta = a_reads[step * 4 + 2];
+        Addr next_delta = a_reads[(step + 1) * 4 + 1];
+        EXPECT_EQ(two_delta, next_delta) << "step " << step;
+    }
+}
+
+TEST(KernelStructure, RayStreamsDominateScatteredSamples)
+{
+    auto k = createBenchmark("ray", 0.1);
+    u64 stream_sectors = 0, scatter_sectors = 0;
+    for (const WarpInstr& in : traceOf(*k)) {
+        if (!isMemOp(in.op))
+            continue;
+        std::set<Addr> sectors;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            if (in.laneActive(lane))
+                sectors.insert(in.addr[lane] / kDramSectorBytes);
+        // The 224KB environment lives at kEnvBase (bit 32 set, below
+        // the frame buffer).
+        bool is_env = (in.addr[0] >> 32) == 1;
+        if (is_env)
+            scatter_sectors += sectors.size();
+        else if (in.op == Opcode::LdGlobal || in.op == Opcode::StGlobal)
+            stream_sectors += sectors.size();
+    }
+    EXPECT_GT(stream_sectors, scatter_sectors * 2);
+}
+
+TEST(KernelStructure, BicubicUsesOnlyTextureFetches)
+{
+    auto k = createBenchmark("bicubictexture", 0.1);
+    u64 tex = 0, global_loads = 0;
+    for (const WarpInstr& in : traceOf(*k)) {
+        if (in.op == Opcode::Tex)
+            ++tex;
+        if (in.op == Opcode::LdGlobal)
+            ++global_loads;
+    }
+    EXPECT_GT(tex, 0u);
+    EXPECT_EQ(global_loads, 0u)
+        << "all reads go through the texture unit";
+}
+
+TEST(KernelStructure, StoOverlappingWindows)
+{
+    // The four chunk loads overlap at 4-byte shifts: their address sets
+    // cover nearly identical lines.
+    auto k = createBenchmark("sto", 0.1);
+    std::vector<std::set<Addr>> first_lines;
+    for (const WarpInstr& in : traceOf(*k)) {
+        if (in.op != Opcode::LdGlobal)
+            continue;
+        std::set<Addr> lines;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            lines.insert(in.addr[lane] / kCacheLineBytes);
+        first_lines.push_back(lines);
+        if (first_lines.size() == 4)
+            break;
+    }
+    ASSERT_EQ(first_lines.size(), 4u);
+    for (size_t i = 1; i < 4; ++i) {
+        std::set<Addr> inter;
+        for (Addr l : first_lines[0])
+            if (first_lines[i].count(l))
+                inter.insert(l);
+        EXPECT_GE(inter.size(), first_lines[0].size() - 1)
+            << "window " << i << " barely overlaps";
+    }
+}
+
+TEST(KernelStructure, SharedHeavyKernelsAreSharedHeavy)
+{
+    // The paper's shared-memory-limited class must actually execute
+    // mostly scratchpad traffic among its memory operations.
+    for (const char* name : {"sto", "needle"}) {
+        auto k = createBenchmark(name, 0.1);
+        u64 shared_ops = 0, global_ops = 0;
+        for (const WarpInstr& in : traceOf(*k)) {
+            if (isSharedSpace(in.op))
+                ++shared_ops;
+            else if (isGlobalSpace(in.op))
+                ++global_ops;
+        }
+        EXPECT_GT(shared_ops, global_ops) << name;
+    }
+}
+
+} // namespace
+} // namespace unimem

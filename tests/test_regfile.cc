@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the MRF/ORF/LRF register file hierarchy, including the
+ * paper's headline property: the hierarchy removes a large fraction of
+ * MRF accesses (around 60% in prior work [9]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "regfile/rf_hierarchy.hh"
+
+namespace unimem {
+namespace {
+
+RfHierarchyConfig
+enabledCfg()
+{
+    RfHierarchyConfig cfg;
+    cfg.enabled = true;
+    cfg.orfEntries = 4;
+    return cfg;
+}
+
+TEST(WarpRegFile, LrfCapturesLastResult)
+{
+    WarpRegFile rf(enabledCfg(), 0);
+    rf.accessOperands(instr::alu(5, 1, 2), false, nullptr); // writes r5
+    u8 banks[3];
+    u32 n = rf.accessOperands(instr::alu(6, 5), false, banks);
+    EXPECT_EQ(n, 0u); // r5 came from the LRF
+    EXPECT_EQ(rf.counts().lrfReads, 1u);
+}
+
+TEST(WarpRegFile, OrfCapturesRecentValues)
+{
+    WarpRegFile rf(enabledCfg(), 0);
+    // Write r1..r4: r4 in LRF, r1..r3 demoted to ORF.
+    for (RegId r = 1; r <= 4; ++r)
+        rf.accessOperands(instr::alu(r), false, nullptr);
+    u8 banks[3];
+    u32 n = rf.accessOperands(instr::alu(10, 1, 2), false, banks);
+    EXPECT_EQ(n, 0u);
+    EXPECT_EQ(rf.counts().orfReads, 2u);
+}
+
+TEST(WarpRegFile, ColdReadsGoToMrf)
+{
+    WarpRegFile rf(enabledCfg(), 0);
+    u8 banks[3];
+    u32 n = rf.accessOperands(instr::alu(1, 7, 9), false, banks);
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(rf.counts().mrfReads, 2u);
+    // Bank ids are cluster-local: (reg + warpSlot) % 4.
+    EXPECT_EQ(banks[0], 7 % 4);
+    EXPECT_EQ(banks[1], 9 % 4);
+}
+
+TEST(WarpRegFile, BankMappingUsesWarpSlot)
+{
+    WarpRegFile rf(enabledCfg(), 3);
+    EXPECT_EQ(rf.mrfBank(0), 3u);
+    EXPECT_EQ(rf.mrfBank(1), 0u);
+    EXPECT_EQ(rf.mrfBank(5), 0u);
+}
+
+TEST(WarpRegFile, EvictionWritesBackToMrf)
+{
+    WarpRegFile rf(enabledCfg(), 0);
+    // 6 distinct writes: LRF + 4 ORF entries hold 5; one eviction.
+    for (RegId r = 1; r <= 6; ++r)
+        rf.accessOperands(instr::alu(r), false, nullptr);
+    EXPECT_EQ(rf.counts().mrfWrites, 1u);
+}
+
+TEST(WarpRegFile, OverwriteKillsOldValueWithoutWriteback)
+{
+    WarpRegFile rf(enabledCfg(), 0);
+    // Accumulator pattern: same destination repeatedly.
+    for (int i = 0; i < 20; ++i)
+        rf.accessOperands(instr::alu(7), false, nullptr);
+    EXPECT_EQ(rf.counts().mrfWrites, 0u);
+}
+
+TEST(WarpRegFile, LongLatencyLoadsWriteMrfDirectly)
+{
+    WarpRegFile rf(enabledCfg(), 0);
+    rf.accessOperands(instr::mem(Opcode::LdGlobal, 3, 1), true, nullptr);
+    EXPECT_EQ(rf.counts().mrfWrites, 1u);
+    EXPECT_FALSE(rf.inHierarchy(3));
+}
+
+TEST(WarpRegFile, FlushWritesDirtyStateToMrf)
+{
+    WarpRegFile rf(enabledCfg(), 0);
+    for (RegId r = 1; r <= 3; ++r)
+        rf.accessOperands(instr::alu(r), false, nullptr);
+    u64 before = rf.counts().mrfWrites;
+    rf.flushToMrf();
+    EXPECT_EQ(rf.counts().mrfWrites - before, 3u);
+    EXPECT_EQ(rf.counts().descheduleWritebacks, 3u);
+    // After the flush nothing lives in the hierarchy.
+    EXPECT_FALSE(rf.inHierarchy(1));
+    EXPECT_FALSE(rf.inHierarchy(3));
+}
+
+TEST(WarpRegFile, DisabledHierarchyIsFlat)
+{
+    RfHierarchyConfig cfg;
+    cfg.enabled = false;
+    WarpRegFile rf(cfg, 0);
+    rf.accessOperands(instr::alu(1, 2, 3), false, nullptr);
+    rf.accessOperands(instr::alu(4, 1), false, nullptr);
+    EXPECT_EQ(rf.counts().mrfReads, 3u);
+    EXPECT_EQ(rf.counts().mrfWrites, 2u);
+    EXPECT_DOUBLE_EQ(rf.counts().reduction(), 0.0);
+}
+
+/**
+ * The headline property: on a representative instruction stream (mostly
+ * recent-value operands with some long-lived values), the hierarchy
+ * removes a large fraction of MRF accesses. Prior work reports ~60%; we
+ * accept a 40-75% band.
+ */
+TEST(WarpRegFile, ReductionInSixtyPercentBand)
+{
+    WarpRegFile rf(enabledCfg(), 0);
+    Rng rng(123);
+    constexpr u32 num_regs = 24;
+    RegId last = 0;
+    for (int i = 0; i < 20000; ++i) {
+        RegId dst = static_cast<RegId>(i % num_regs);
+        RegId s1 = rng.chance(0.7)
+                       ? last
+                       : static_cast<RegId>(rng.range(num_regs));
+        RegId s2 = rng.chance(0.5)
+                       ? static_cast<RegId>((i + num_regs - 2) % num_regs)
+                       : static_cast<RegId>(rng.range(num_regs));
+        rf.accessOperands(instr::alu(dst, s1, s2), false, nullptr);
+        last = dst;
+        // Periodic deschedule points, as the two-level scheduler causes.
+        if (i % 40 == 39)
+            rf.flushToMrf();
+    }
+    double red = rf.counts().reduction();
+    EXPECT_GT(red, 0.40) << "reduction " << red;
+    EXPECT_LT(red, 0.80) << "reduction " << red;
+}
+
+TEST(RfAccessCounts, MergeAccumulates)
+{
+    RfAccessCounts a, b;
+    a.mrfReads = 3;
+    a.srcReads = 10;
+    b.mrfReads = 2;
+    b.srcReads = 5;
+    b.descheduleWritebacks = 1;
+    a.merge(b);
+    EXPECT_EQ(a.mrfReads, 5u);
+    EXPECT_EQ(a.srcReads, 15u);
+    EXPECT_EQ(a.descheduleWritebacks, 1u);
+}
+
+} // namespace
+} // namespace unimem

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the scheduling layer: scoreboard dependence tracking,
+ * two-level warp scheduler state machine, and CTA occupancy calculation
+ * for the partitioned and unified designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/occupancy.hh"
+#include "sched/scoreboard.hh"
+#include "sched/two_level_scheduler.hh"
+
+namespace unimem {
+namespace {
+
+TEST(Scoreboard, ReadyCycleTracksRawAndWaw)
+{
+    Scoreboard sb;
+    sb.setPending(3, 100, false);
+    EXPECT_EQ(sb.readyCycle(instr::alu(1, 3)), 100u);  // RAW
+    EXPECT_EQ(sb.readyCycle(instr::alu(3, 1)), 100u);  // WAW
+    EXPECT_EQ(sb.readyCycle(instr::alu(5, 6)), 0u);
+}
+
+TEST(Scoreboard, LongLatencyFlagLifecycle)
+{
+    Scoreboard sb;
+    sb.setPending(3, 500, true);
+    EXPECT_TRUE(sb.dependsOnLongLatency(instr::alu(1, 3)));
+    EXPECT_TRUE(sb.anyLongLatencyPending());
+    sb.clearPending(3);
+    EXPECT_FALSE(sb.dependsOnLongLatency(instr::alu(1, 3)));
+    EXPECT_FALSE(sb.anyLongLatencyPending());
+}
+
+TEST(Scoreboard, WawOverPendingLongOpKeepsCount)
+{
+    Scoreboard sb;
+    sb.setPending(3, 500, true);
+    sb.setPending(3, 600, true); // WAW overwrite
+    EXPECT_TRUE(sb.anyLongLatencyPending());
+    sb.clearPending(3);
+    EXPECT_FALSE(sb.anyLongLatencyPending());
+}
+
+TEST(Scoreboard, ResetClearsEverything)
+{
+    Scoreboard sb;
+    sb.setPending(1, 9, true);
+    sb.reset();
+    EXPECT_EQ(sb.readyCycle(instr::alu(0, 1)), 0u);
+    EXPECT_FALSE(sb.anyLongLatencyPending());
+}
+
+TEST(TwoLevelScheduler, ActiveSetCapped)
+{
+    TwoLevelScheduler s(4);
+    for (u32 w = 0; w < 8; ++w)
+        s.addWarp(w);
+    EXPECT_EQ(s.activeWarps().size(), 4u);
+    EXPECT_EQ(s.numResident(), 8u);
+    for (u32 w = 0; w < 4; ++w)
+        EXPECT_TRUE(s.isActive(w));
+    EXPECT_FALSE(s.isActive(5));
+}
+
+TEST(TwoLevelScheduler, DeschedulePromotesEligible)
+{
+    TwoLevelScheduler s(2);
+    s.addWarp(0);
+    s.addWarp(1);
+    s.addWarp(2); // eligible, waiting for a slot
+    s.deschedule(0);
+    EXPECT_FALSE(s.isActive(0));
+    EXPECT_TRUE(s.isActive(2));
+    EXPECT_EQ(s.stats().deschedules, 1u);
+}
+
+TEST(TwoLevelScheduler, SignalEligibleReactivates)
+{
+    TwoLevelScheduler s(2);
+    s.addWarp(0);
+    s.addWarp(1);
+    s.deschedule(0);
+    EXPECT_EQ(s.activeWarps().size(), 1u);
+    s.signalEligible(0);
+    EXPECT_TRUE(s.isActive(0)); // slot was free
+    // Double signal is harmless.
+    s.signalEligible(0);
+    EXPECT_EQ(s.activeWarps().size(), 2u);
+}
+
+TEST(TwoLevelScheduler, RoundRobinIsFair)
+{
+    TwoLevelScheduler s(4);
+    for (u32 w = 0; w < 4; ++w)
+        s.addWarp(w);
+    std::vector<u32> picks;
+    for (int i = 0; i < 8; ++i)
+        picks.push_back(s.pickIssue([](u32) { return true; }));
+    for (u32 w = 0; w < 4; ++w) {
+        EXPECT_EQ(picks[w], w);
+        EXPECT_EQ(picks[w + 4], w);
+    }
+}
+
+TEST(TwoLevelScheduler, PickSkipsNotReady)
+{
+    TwoLevelScheduler s(4);
+    for (u32 w = 0; w < 3; ++w)
+        s.addWarp(w);
+    u32 pick = s.pickIssue([](u32 w) { return w == 2; });
+    EXPECT_EQ(pick, 2u);
+    pick = s.pickIssue([](u32) { return false; });
+    EXPECT_EQ(pick, TwoLevelScheduler::kNone);
+}
+
+TEST(TwoLevelScheduler, RetireFreesSlot)
+{
+    TwoLevelScheduler s(2);
+    for (u32 w = 0; w < 3; ++w)
+        s.addWarp(w);
+    s.retire(0);
+    EXPECT_EQ(s.numResident(), 2u);
+    EXPECT_TRUE(s.isActive(2)); // promoted
+}
+
+// ---- Occupancy -------------------------------------------------------
+
+KernelParams
+kernelWith(u32 regs, u32 sharedPerCta, u32 ctaThreads = 256)
+{
+    KernelParams kp;
+    kp.name = "test";
+    kp.regsPerThread = regs;
+    kp.sharedBytesPerCta = sharedPerCta;
+    kp.ctaThreads = ctaThreads;
+    kp.gridCtas = 64;
+    return kp;
+}
+
+TEST(Occupancy, BaselineFullOccupancy)
+{
+    // 20 regs x 256 thr x 4B = 20KB/CTA -> RF allows 12; threads cap 4.
+    LaunchConfig lc = occupancyPartitioned(kernelWith(20, 0), 256_KB,
+                                           64_KB);
+    ASSERT_TRUE(lc.feasible);
+    EXPECT_EQ(lc.threads, 1024u);
+    EXPECT_EQ(lc.ctas, 4u);
+    EXPECT_EQ(lc.regsPerThread, 20u);
+    EXPECT_DOUBLE_EQ(lc.spillMultiplier, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    // dgemm-like: 57 regs -> 57KB/CTA; 256KB RF fits 4 CTAs; shared
+    // 17KB/CTA on 64KB fits only 3.
+    LaunchConfig lc = occupancyPartitioned(kernelWith(57, 17024), 256_KB,
+                                           64_KB);
+    ASSERT_TRUE(lc.feasible);
+    EXPECT_EQ(lc.ctas, 3u);
+    EXPECT_EQ(lc.threads, 768u);
+}
+
+TEST(Occupancy, SharedLimitedNeedle)
+{
+    // needle BF=32: 8712B/CTA of 32 threads; 64KB shared -> 7 CTAs.
+    LaunchConfig lc = occupancyPartitioned(kernelWith(18, 8712, 32),
+                                           256_KB, 64_KB);
+    ASSERT_TRUE(lc.feasible);
+    EXPECT_EQ(lc.ctas, 7u);
+    EXPECT_EQ(lc.threads, 224u);
+}
+
+TEST(Occupancy, RegsOverrideBelowNeedInducesSpills)
+{
+    KernelParams kp = kernelWith(32, 0);
+    kp.spillCurve = SpillCurve({{18, 1.4}, {32, 1.0}});
+    LaunchConfig lc = occupancyPartitioned(kp, 256_KB, 64_KB, 1024, 18);
+    ASSERT_TRUE(lc.feasible);
+    EXPECT_EQ(lc.regsPerThread, 18u);
+    EXPECT_DOUBLE_EQ(lc.spillMultiplier, 1.4);
+}
+
+TEST(Occupancy, RegsOverrideAboveNeedNoSpills)
+{
+    KernelParams kp = kernelWith(20, 0);
+    kp.spillCurve = SpillCurve({{18, 1.2}, {24, 1.0}});
+    LaunchConfig lc = occupancyPartitioned(kp, 256_KB, 64_KB, 1024, 64);
+    ASSERT_TRUE(lc.feasible);
+    EXPECT_EQ(lc.regsPerThread, 64u);
+    EXPECT_DOUBLE_EQ(lc.spillMultiplier, 1.0);
+}
+
+TEST(Occupancy, CompilerSpillsWhenRfTooSmallForOneCta)
+{
+    KernelParams kp = kernelWith(64, 0);
+    kp.spillCurve = SpillCurve({{18, 1.5}, {64, 1.0}});
+    // 16KB RF: 64 regs x 256 x 4 = 64KB does not fit; spills down to 16.
+    LaunchConfig lc = occupancyPartitioned(kp, 16_KB, 64_KB);
+    ASSERT_TRUE(lc.feasible);
+    EXPECT_EQ(lc.regsPerThread, 16u);
+    EXPECT_GT(lc.spillMultiplier, 1.0);
+}
+
+TEST(Occupancy, ThreadLimitCapsCtas)
+{
+    LaunchConfig lc =
+        occupancyPartitioned(kernelWith(16, 0), 256_KB, 64_KB, 512);
+    ASSERT_TRUE(lc.feasible);
+    EXPECT_EQ(lc.threads, 512u);
+}
+
+TEST(Occupancy, UnifiedLeftoverBecomesCache)
+{
+    // bfs-like: 9 regs, no shared; 384KB unified.
+    UnifiedLaunch ul = occupancyUnified(kernelWith(9, 0), 384_KB);
+    ASSERT_TRUE(ul.launch.feasible);
+    EXPECT_EQ(ul.launch.threads, 1024u);
+    EXPECT_EQ(ul.launch.rfBytes, 1024u * 9 * 4);
+    EXPECT_EQ(ul.cacheBytes, 384_KB - 1024u * 9 * 4);
+}
+
+TEST(Occupancy, UnifiedDgemmFitsFullOccupancy)
+{
+    // Paper Figure 8: dgemm at 384KB -> 228KB RF + ~66KB shared + rest.
+    UnifiedLaunch ul = occupancyUnified(kernelWith(57, 17024), 384_KB);
+    ASSERT_TRUE(ul.launch.feasible);
+    EXPECT_EQ(ul.launch.threads, 1024u);
+    EXPECT_EQ(ul.launch.rfBytes, 1024u * 57 * 4); // 228KB
+    EXPECT_EQ(ul.launch.sharedBytes, 4u * 17024);
+    EXPECT_EQ(ul.cacheBytes,
+              384_KB - 1024u * 57 * 4 - 4u * 17024);
+}
+
+TEST(Occupancy, UnifiedNeedleTradesCacheForThreads)
+{
+    // needle BF=32 at 384KB: all 32 CTAs fit, shared = 272KB.
+    UnifiedLaunch ul = occupancyUnified(kernelWith(18, 8712, 32), 384_KB);
+    ASSERT_TRUE(ul.launch.feasible);
+    EXPECT_EQ(ul.launch.threads, 1024u);
+    EXPECT_EQ(ul.launch.sharedBytes, 32u * 8712);
+}
+
+TEST(Occupancy, UnifiedInfeasibleWhenSharedAloneTooBig)
+{
+    UnifiedLaunch ul = occupancyUnified(kernelWith(16, 200000), 128_KB);
+    EXPECT_FALSE(ul.launch.feasible);
+}
+
+TEST(Occupancy, UnifiedSmallCapacitySpillsRegisters)
+{
+    // 57-reg kernel at 64KB unified: one CTA at 57 regs needs 58KB+17KB;
+    // the compiler spills down so one CTA fits.
+    UnifiedLaunch ul = occupancyUnified(kernelWith(57, 17024), 64_KB);
+    ASSERT_TRUE(ul.launch.feasible);
+    EXPECT_LT(ul.launch.regsPerThread, 57u);
+    EXPECT_GE(ul.launch.regsPerThread, kMinRegsPerThread);
+}
+
+} // namespace
+} // namespace unimem

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Behavioral tests of the SM cycle model using small hand-built kernels:
+ * completion, latency hiding, barrier synchronization, cache/DRAM
+ * interaction, bank-conflict penalties, and the two-level scheduler's
+ * deschedule-on-long-latency behaviour.
+ */
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "sm/sm.hh"
+
+namespace unimem {
+namespace {
+
+/** Kernel whose warp programs come from a user function. */
+class TestKernel : public KernelModel
+{
+  public:
+    using Gen = std::function<std::vector<WarpInstr>(const WarpCtx&)>;
+
+    TestKernel(KernelParams kp, Gen gen)
+        : params_(std::move(kp)), gen_(std::move(gen))
+    {
+    }
+
+    const KernelParams& params() const override { return params_; }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        return std::make_unique<FixedProgram>(gen_(ctx));
+    }
+
+  private:
+    KernelParams params_;
+    Gen gen_;
+};
+
+KernelParams
+smallParams(u32 ctas = 1, u32 ctaThreads = 32, u32 regs = 16,
+            u32 shared = 0)
+{
+    KernelParams kp;
+    kp.name = "test";
+    kp.regsPerThread = regs;
+    kp.sharedBytesPerCta = shared;
+    kp.ctaThreads = ctaThreads;
+    kp.gridCtas = ctas;
+    return kp;
+}
+
+SmRunConfig
+configFor(const KernelParams& kp, u32 threadLimit = kMaxThreadsPerSm)
+{
+    SmRunConfig cfg;
+    cfg.partition = baselinePartition();
+    cfg.launch = occupancyPartitioned(kp, cfg.partition.rfBytes,
+                                      cfg.partition.sharedBytes,
+                                      threadLimit);
+    return cfg;
+}
+
+WarpInstr
+globalLoad(RegId dst, Addr base, i64 stride = 4)
+{
+    WarpInstr in = instr::mem(Opcode::LdGlobal, dst, 0);
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        in.addr[lane] = base + static_cast<Addr>(lane) * stride;
+    return in;
+}
+
+WarpInstr
+sharedLoad(RegId dst, Addr base, i64 stride = 4)
+{
+    WarpInstr in = instr::mem(Opcode::LdShared, dst, 0);
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        in.addr[lane] = base + static_cast<Addr>(lane) * stride;
+    return in;
+}
+
+TEST(Sm, RunsToCompletionAndCountsInstructions)
+{
+    KernelParams kp = smallParams(2);
+    TestKernel k(kp, [](const WarpCtx&) {
+        return std::vector<WarpInstr>(10, instr::alu(1, 0));
+    });
+    SmStats s = runKernel(configFor(kp), k);
+    EXPECT_EQ(s.warpInstrs, 20u);
+    EXPECT_EQ(s.threadInstrs, 640u);
+    EXPECT_EQ(s.ctasExecuted, 2u);
+    EXPECT_GT(s.cycles, 10u);
+}
+
+TEST(Sm, IndependentAluStreamsPipeline)
+{
+    // 8 warps of independent ALU chains: the issue port should stay
+    // nearly saturated (1 instr/cycle across warps).
+    KernelParams kp = smallParams(1, 256);
+    TestKernel k(kp, [](const WarpCtx&) {
+        std::vector<WarpInstr> v;
+        for (int i = 0; i < 100; ++i)
+            v.push_back(instr::alu(static_cast<RegId>(i % 8)));
+        return v;
+    });
+    SmStats s = runKernel(configFor(kp), k);
+    EXPECT_EQ(s.warpInstrs, 800u);
+    EXPECT_LT(s.cycles, 1000u);
+}
+
+TEST(Sm, DependentChainExposesAluLatency)
+{
+    // One warp, each instruction depends on the previous: ~8 cycles per
+    // instruction.
+    KernelParams kp = smallParams(1, 32);
+    TestKernel k(kp, [](const WarpCtx&) {
+        std::vector<WarpInstr> v;
+        for (int i = 0; i < 50; ++i)
+            v.push_back(instr::alu(1, 1));
+        return v;
+    });
+    SmStats s = runKernel(configFor(kp), k);
+    EXPECT_GE(s.cycles, 50u * 8u);
+    EXPECT_LE(s.cycles, 50u * 9u + 20u);
+}
+
+TEST(Sm, MoreThreadsHideDramLatency)
+{
+    // Memory-bound loop: each warp loads (miss -> 400+ cycles) then
+    // consumes. More resident warps -> better overlap.
+    auto gen = [](const WarpCtx& ctx) {
+        std::vector<WarpInstr> v;
+        for (u32 i = 0; i < 20; ++i) {
+            Addr base = (static_cast<Addr>(ctx.ctaId) * 64 +
+                         ctx.warpInCta * 20 + i) *
+                        4096;
+            v.push_back(globalLoad(1, base));
+            v.push_back(instr::alu(2, 1));
+            v.push_back(instr::alu(3, 2));
+        }
+        return v;
+    };
+    KernelParams kp = smallParams(8, 256);
+    TestKernel k(kp, gen);
+    SmStats few = runKernel(configFor(kp, 256), k);
+    SmStats many = runKernel(configFor(kp, 1024), k);
+    EXPECT_LT(many.cycles, few.cycles);
+}
+
+TEST(Sm, CacheReducesDramTraffic)
+{
+    // Every warp re-reads the same small region.
+    auto gen = [](const WarpCtx&) {
+        std::vector<WarpInstr> v;
+        for (u32 i = 0; i < 50; ++i) {
+            v.push_back(globalLoad(1, (i % 4) * 128));
+            v.push_back(instr::alu(2, 1));
+        }
+        return v;
+    };
+    KernelParams kp = smallParams(4, 256);
+    TestKernel k(kp, gen);
+
+    SmRunConfig with_cache = configFor(kp);
+    SmStats hit = runKernel(with_cache, k);
+
+    SmRunConfig no_cache = configFor(kp);
+    no_cache.partition.cacheBytes = 0;
+    SmStats miss = runKernel(no_cache, k);
+
+    EXPECT_LT(hit.dram.sectors(), miss.dram.sectors());
+    EXPECT_LE(hit.cycles, miss.cycles);
+    EXPECT_GT(hit.cache.readHits, 0u);
+}
+
+TEST(Sm, WriteThroughStoresAlwaysReachDram)
+{
+    auto gen = [](const WarpCtx&) {
+        std::vector<WarpInstr> v;
+        for (u32 i = 0; i < 10; ++i) {
+            WarpInstr st = instr::mem(Opcode::StGlobal, 1, 0);
+            for (u32 lane = 0; lane < kWarpWidth; ++lane)
+                st.addr[lane] = lane * 4; // same line every time
+            v.push_back(st);
+        }
+        return v;
+    };
+    KernelParams kp = smallParams(1, 32);
+    TestKernel k(kp, gen);
+    SmStats s = runKernel(configFor(kp), k);
+    EXPECT_EQ(s.dram.writeSectors, 10u * 4u);
+}
+
+TEST(Sm, BarrierSynchronizesCta)
+{
+    // Warp 0 is fast, warp 1 slow before the barrier; both then issue a
+    // marker. With a working barrier no warp retires before all arrive.
+    KernelParams kp = smallParams(1, 64);
+    TestKernel k(kp, [](const WarpCtx& ctx) {
+        std::vector<WarpInstr> v;
+        if (ctx.warpInCta == 1)
+            for (int i = 0; i < 20; ++i)
+                v.push_back(instr::alu(1, 1)); // slow dependent chain
+        v.push_back(instr::bar());
+        v.push_back(instr::alu(2, 0));
+        return v;
+    });
+    SmStats s = runKernel(configFor(kp), k);
+    EXPECT_EQ(s.barriers, 2u);
+    EXPECT_GE(s.cycles, 20u * 8u); // fast warp had to wait
+}
+
+TEST(Sm, UnbalancedBarrierPanics)
+{
+    KernelParams kp = smallParams(1, 64);
+    TestKernel k(kp, [](const WarpCtx& ctx) {
+        std::vector<WarpInstr> v;
+        if (ctx.warpInCta == 0)
+            v.push_back(instr::bar()); // warp 1 never arrives
+        v.push_back(instr::alu(1, 0));
+        return v;
+    });
+    EXPECT_DEATH(
+        { runKernel(configFor(kp), k); }, "deadlock|barrier");
+}
+
+TEST(Sm, ConflictPenaltySlowsSharedScatter)
+{
+    // All lanes hit the same partitioned bank (stride 128B).
+    auto gen = [](const WarpCtx&) {
+        std::vector<WarpInstr> v;
+        for (u32 i = 0; i < 50; ++i) {
+            v.push_back(sharedLoad(1, 0, 128));
+            v.push_back(instr::alu(2, 1));
+        }
+        return v;
+    };
+    KernelParams kp = smallParams(1, 32, 16, 4096);
+    TestKernel k(kp, gen);
+
+    SmRunConfig cfg = configFor(kp);
+    SmStats with = runKernel(cfg, k);
+    cfg.conflictPenalties = false;
+    SmStats without = runKernel(cfg, k);
+    EXPECT_GT(with.conflictPenaltyCycles, 0u);
+    EXPECT_GT(with.cycles, without.cycles);
+}
+
+TEST(Sm, TwoLevelSchedulerDeschedulesOnLongLatency)
+{
+    auto gen = [](const WarpCtx& ctx) {
+        std::vector<WarpInstr> v;
+        for (u32 i = 0; i < 10; ++i) {
+            v.push_back(globalLoad(
+                1, (static_cast<Addr>(ctx.warpInCta) * 10 + i) * 65536));
+            v.push_back(instr::alu(2, 1)); // depends on the load
+        }
+        return v;
+    };
+    KernelParams kp = smallParams(4, 256);
+    TestKernel k(kp, gen);
+    SmStats s = runKernel(configFor(kp), k);
+    EXPECT_GT(s.sched.deschedules, 0u);
+    // Deschedules force LRF/ORF writebacks to the MRF.
+    EXPECT_GT(s.rf.descheduleWritebacks, 0u);
+}
+
+TEST(Sm, TextureLatencyAndPrivateCache)
+{
+    auto gen = [](const WarpCtx&) {
+        std::vector<WarpInstr> v;
+        for (u32 i = 0; i < 20; ++i) {
+            WarpInstr tex = instr::mem(Opcode::Tex, 1, 0);
+            for (u32 lane = 0; lane < kWarpWidth; ++lane)
+                tex.addr[lane] = (i % 2) * 128; // two lines, reused
+            v.push_back(tex);
+            v.push_back(instr::alu(2, 1));
+        }
+        return v;
+    };
+    KernelParams kp = smallParams(1, 32);
+    TestKernel k(kp, gen);
+    SmStats s = runKernel(configFor(kp), k);
+    // Only two compulsory texture misses reach DRAM.
+    EXPECT_EQ(s.texDram.readSectors, 2u * 4u);
+    EXPECT_EQ(s.dram.sectors(), 0u);
+    EXPECT_GE(s.cycles, 400u);
+}
+
+TEST(Sm, TagPortSerializesMultiLineAccesses)
+{
+    // Column access: 32 lines per instruction -> 31 extra tag cycles.
+    auto gen = [](const WarpCtx&) {
+        std::vector<WarpInstr> v;
+        v.push_back(globalLoad(1, 0, 8192));
+        return v;
+    };
+    KernelParams kp = smallParams(1, 32);
+    TestKernel k(kp, gen);
+    SmStats s = runKernel(configFor(kp), k);
+    EXPECT_EQ(s.tagSerializationCycles, 31u);
+}
+
+TEST(Sm, SpillsInflateDynamicInstructions)
+{
+    KernelParams kp = smallParams(2, 256, 32);
+    kp.spillCurve = SpillCurve({{18, 1.5}, {32, 1.0}});
+    TestKernel k(kp, [](const WarpCtx&) {
+        return std::vector<WarpInstr>(100, instr::alu(1, 0));
+    });
+
+    SmRunConfig cfg = configFor(kp);
+    SmStats normal = runKernel(cfg, k);
+
+    SmRunConfig spilled = cfg;
+    spilled.launch = occupancyPartitioned(kp, 256_KB, 64_KB,
+                                          kMaxThreadsPerSm, 18);
+    SmStats with_spills = runKernel(spilled, k);
+
+    EXPECT_NEAR(static_cast<double>(with_spills.warpInstrs) /
+                    static_cast<double>(normal.warpInstrs),
+                1.5, 0.02);
+    EXPECT_GT(with_spills.dram.sectors(), 0u); // spill traffic misses
+}
+
+TEST(Sm, CyclesCoverAllOutstandingWork)
+{
+    // A single store at the end: runtime must include its DRAM drain.
+    KernelParams kp = smallParams(1, 32);
+    TestKernel k(kp, [](const WarpCtx&) {
+        std::vector<WarpInstr> v;
+        WarpInstr st = instr::mem(Opcode::StGlobal, 1, 0);
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            st.addr[lane] = lane * 4;
+        v.push_back(st);
+        return v;
+    });
+    SmStats s = runKernel(configFor(kp), k);
+    EXPECT_GE(s.cycles, 128u / 8u); // at least the bandwidth time
+}
+
+} // namespace
+} // namespace unimem

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Command-line driver for the unimem simulator.
+ *
+ * Subcommands:
+ *   list                        all registered benchmarks with metadata
+ *   allocate <bench>            Section 4.5 allocation decision at a
+ *                               given capacity (no simulation)
+ *   run <bench>                 simulate one configuration
+ *   sweep <bench>               capacity/cache/thread sweeps
+ *   chip <bench>                chip-level co-simulation (--sms=N)
+ *   trace <bench>               dump the warp trace to a file
+ *
+ * Common flags:
+ *   --design=partitioned|unified|fermi   (default partitioned)
+ *   --capacity-kb=N     unified capacity   (default 384)
+ *   --scale=F           workload scale     (default 0.5)
+ *   --threads=N         thread limit
+ *   --regs=N            registers/thread override
+ *   --write-back        write-back cache ablation
+ *   --no-rf-hierarchy   disable the ORF/LRF
+ *   --dump-stats        print the full StatSet after a run
+ *
+ * Examples:
+ *   unimem_cli run needle --design=unified
+ *   unimem_cli sweep pcr --what=cache
+ *   unimem_cli trace sgemv --out=/tmp/sgemv.trace
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "arch/trace_io.hh"
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "kernels/registry.hh"
+#include "sim/experiments.hh"
+#include "sm/chip.hh"
+
+using namespace unimem;
+
+namespace {
+
+int
+cmdList()
+{
+    Table t({"name", "category", "benefits", "regs/thread",
+             "shared B/thread", "paper dram 0/64K/256K"});
+    for (const BenchmarkInfo& info : allBenchmarks()) {
+        t.addRow({info.name, categoryName(info.category),
+                  info.benefits ? "yes" : "no",
+                  std::to_string(info.paperRegs),
+                  Table::num(info.paperSharedPerThread, 1),
+                  Table::num(info.paperDramNone, 2) + " / " +
+                      Table::num(info.paperDram64k, 2) + " / " +
+                      Table::num(info.paperDram256k, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+RunSpec
+specFromArgs(const CliArgs& args)
+{
+    RunSpec spec;
+    std::string design = args.getString("design", "partitioned");
+    if (design == "partitioned") {
+        spec.design = DesignKind::Partitioned;
+    } else if (design == "unified") {
+        spec.design = DesignKind::Unified;
+    } else if (design == "fermi") {
+        spec.design = DesignKind::FermiLike;
+        spec.partition = fermiLikeOptions(
+            static_cast<u64>(args.getInt("capacity-kb", 384)) *
+            1024)[args.getInt("fermi-option", 0) != 0 ? 1 : 0];
+    } else {
+        fatal("unknown design '%s'", design.c_str());
+    }
+    spec.unifiedCapacity =
+        static_cast<u64>(args.getInt("capacity-kb", 384)) * 1024;
+    spec.threadLimit =
+        static_cast<u32>(args.getInt("threads", kMaxThreadsPerSm));
+    spec.regsOverride = static_cast<u32>(args.getInt("regs", 0));
+    spec.rfHierarchy = !args.getBool("no-rf-hierarchy", false);
+    spec.conflictPenalties = !args.getBool("no-conflicts", false);
+    spec.aggressiveUnified = args.getBool("aggressive-unified", false);
+    if (args.getBool("write-back", false))
+        spec.cachePolicy = WritePolicy::WriteBack;
+    return spec;
+}
+
+std::string
+requireBenchmark(const CliArgs& args)
+{
+    if (args.positional().size() < 2)
+        fatal("missing benchmark name (try 'unimem_cli list')");
+    std::string name = args.positional()[1];
+    if (findBenchmark(name) == nullptr)
+        fatal("unknown benchmark '%s' (try 'unimem_cli list')",
+              name.c_str());
+    return name;
+}
+
+int
+cmdAllocate(const CliArgs& args)
+{
+    std::string name = requireBenchmark(args);
+    double scale = args.getDouble("scale", 0.5);
+    auto k = createBenchmark(name, scale);
+
+    Table t({"capacity", "RF KB", "shared KB", "cache KB", "threads",
+             "regs", "spill x"});
+    for (u64 kb : {128ull, 192ull, 256ull, 320ull, 384ull, 512ull}) {
+        AllocationDecision d = allocateUnified(k->params(), kb * 1024);
+        if (!d.launch.feasible) {
+            t.addRow({std::to_string(kb) + " KB", "-", "-", "-",
+                      "does not fit", "-", "-"});
+            continue;
+        }
+        t.addRow({std::to_string(kb) + " KB",
+                  std::to_string(d.partition.rfBytes / 1024),
+                  std::to_string(d.partition.sharedBytes / 1024),
+                  std::to_string(d.partition.cacheBytes / 1024),
+                  std::to_string(d.launch.threads),
+                  std::to_string(d.launch.regsPerThread),
+                  Table::num(d.launch.spillMultiplier, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(const CliArgs& args)
+{
+    std::string name = requireBenchmark(args);
+    double scale = args.getDouble("scale", 0.5);
+    RunSpec spec = specFromArgs(args);
+
+    SimResult r = simulateBenchmark(name, scale, spec);
+    std::cout << name << " on " << designName(spec.design) << " ("
+              << r.alloc.partition.str() << ")\n"
+              << "  threads " << r.alloc.launch.threads << ", regs "
+              << r.alloc.launch.regsPerThread << ", spill x"
+              << Table::num(r.alloc.launch.spillMultiplier, 2) << "\n"
+              << "  cycles " << r.cycles() << ", ipc "
+              << Table::num(r.sm.ipc(), 2) << ", dram sectors "
+              << r.dramSectors() << "\n";
+
+    if (spec.design != DesignKind::Partitioned ||
+        args.getBool("compare", false)) {
+        SimResult base = runBaseline(name, scale);
+        Comparison c = compare(r, base);
+        std::cout << "  vs partitioned baseline: speedup "
+                  << Table::num(c.speedup, 3) << ", energy "
+                  << Table::num(c.energyRatio, 3) << ", dram "
+                  << Table::num(c.dramRatio, 3) << "\n";
+    }
+    if (args.getBool("dump-stats", false)) {
+        std::cout << "\n";
+        r.sm.toStatSet().dump(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdSweep(const CliArgs& args)
+{
+    std::string name = requireBenchmark(args);
+    double scale = args.getDouble("scale", 0.5);
+    std::string what = args.getString("what", "capacity");
+
+    Table t({"point", "cycles", "dram sectors", "threads"});
+    auto add = [&](const std::string& label, const RunSpec& spec) {
+        auto k = createBenchmark(name, scale);
+        AllocationDecision d = resolveAllocation(k->params(), spec);
+        if (!d.launch.feasible) {
+            t.addRow({label, "does not fit", "-", "-"});
+            return;
+        }
+        SimResult r = simulate(*k, spec);
+        t.addRow({label, std::to_string(r.cycles()),
+                  std::to_string(r.dramSectors()),
+                  std::to_string(r.alloc.launch.threads)});
+    };
+
+    if (what == "capacity") {
+        for (u64 kb : {128ull, 192ull, 256ull, 320ull, 384ull, 512ull}) {
+            RunSpec spec = specFromArgs(args);
+            spec.design = DesignKind::Unified;
+            spec.unifiedCapacity = kb * 1024;
+            add(std::to_string(kb) + " KB unified", spec);
+        }
+    } else if (what == "cache") {
+        for (u64 kb : {0ull, 32ull, 64ull, 128ull, 256ull, 512ull}) {
+            RunSpec spec = specFromArgs(args);
+            spec.design = DesignKind::Partitioned;
+            spec.partition = MemoryPartition{256_KB, 1_MB, kb * 1024};
+            add(std::to_string(kb) + " KB cache", spec);
+        }
+    } else if (what == "threads") {
+        for (u32 threads = 256; threads <= 1024; threads += 256) {
+            RunSpec spec = specFromArgs(args);
+            spec.threadLimit = threads;
+            add(std::to_string(threads) + " threads", spec);
+        }
+    } else {
+        fatal("unknown sweep '%s' (capacity|cache|threads)",
+              what.c_str());
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdChip(const CliArgs& args)
+{
+    std::string name = requireBenchmark(args);
+    double scale = args.getDouble("scale", 0.35);
+    u32 sms = static_cast<u32>(args.getInt("sms", 8));
+
+    auto k = createBenchmark(name, scale);
+    RunSpec spec = specFromArgs(args);
+    AllocationDecision d = resolveAllocation(k->params(), spec);
+    if (!d.launch.feasible)
+        fatal("kernel does not fit under the given design");
+
+    ChipConfig cc;
+    cc.numSms = sms;
+    cc.chipDramBytesPerCycle =
+        static_cast<u32>(args.getInt("chip-bw", sms * 8));
+    cc.sm.design = spec.design == DesignKind::FermiLike
+                       ? DesignKind::Partitioned
+                       : spec.design;
+    cc.sm.partition = d.partition;
+    cc.sm.launch = d.launch;
+    cc.sm.rfHierarchy = spec.rfHierarchy;
+    cc.sm.conflictPenalties = spec.conflictPenalties;
+    cc.sm.cachePolicy = spec.cachePolicy;
+
+    ChipModel chip(cc, *k);
+    const ChipStats& cs = chip.run();
+    std::cout << name << " on " << sms << " SMs, "
+              << cc.chipDramBytesPerCycle << " B/cycle chip DRAM ("
+              << d.partition.str() << " per SM)\n"
+              << "  chip cycles " << cs.cycles << " (slowest SM "
+              << cs.maxSmCycles() << ", fastest " << cs.minSmCycles()
+              << ")\n"
+              << "  total warp instrs " << cs.warpInstrs()
+              << ", chip dram sectors "
+              << cs.dram.sectors() + cs.texDram.sectors() << "\n";
+
+    SimResult single = simulateBenchmark(name, scale, spec);
+    std::cout << "  single-SM methodology: " << single.cycles()
+              << " cycles (error "
+              << Table::num((static_cast<double>(cs.maxSmCycles()) /
+                                 static_cast<double>(single.cycles()) -
+                             1.0) *
+                                100.0,
+                            1)
+              << "%)\n";
+    return 0;
+}
+
+int
+cmdTrace(const CliArgs& args)
+{
+    std::string name = requireBenchmark(args);
+    double scale = args.getDouble("scale", 0.5);
+    std::string out = args.getString("out", name + ".trace");
+
+    auto k = createBenchmark(name, scale);
+    std::ofstream os(out);
+    if (!os)
+        fatal("cannot open '%s' for writing", out.c_str());
+    writeTrace(*k, os);
+    std::cout << "wrote " << out << " (" << k->params().gridCtas
+              << " CTAs x " << k->params().warpsPerCta() << " warps)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    if (args.positional().empty()) {
+        std::cerr << "usage: unimem_cli <list|allocate|run|sweep|chip|trace> "
+                     "[benchmark] [flags]\n(see the file header for "
+                     "flags)\n";
+        return 1;
+    }
+    const std::string& cmd = args.positional()[0];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "allocate")
+        return cmdAllocate(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    if (cmd == "chip")
+        return cmdChip(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
+    fatal("unknown command '%s'", cmd.c_str());
+}
