@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_chip_validation.dir/ext_chip_validation.cc.o"
+  "CMakeFiles/ext_chip_validation.dir/ext_chip_validation.cc.o.d"
+  "ext_chip_validation"
+  "ext_chip_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chip_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

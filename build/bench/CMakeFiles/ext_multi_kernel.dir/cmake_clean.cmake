@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_kernel.dir/ext_multi_kernel.cc.o"
+  "CMakeFiles/ext_multi_kernel.dir/ext_multi_kernel.cc.o.d"
+  "ext_multi_kernel"
+  "ext_multi_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fermi_like.dir/fig10_fermi_like.cc.o"
+  "CMakeFiles/fig10_fermi_like.dir/fig10_fermi_like.cc.o.d"
+  "fig10_fermi_like"
+  "fig10_fermi_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fermi_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_needle_blocking.dir/fig11_needle_blocking.cc.o"
+  "CMakeFiles/fig11_needle_blocking.dir/fig11_needle_blocking.cc.o.d"
+  "fig11_needle_blocking"
+  "fig11_needle_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_needle_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

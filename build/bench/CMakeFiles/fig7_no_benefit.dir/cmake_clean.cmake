@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_no_benefit.dir/fig7_no_benefit.cc.o"
+  "CMakeFiles/fig7_no_benefit.dir/fig7_no_benefit.cc.o.d"
+  "fig7_no_benefit"
+  "fig7_no_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_no_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_configurations.dir/fig8_configurations.cc.o"
+  "CMakeFiles/fig8_configurations.dir/fig8_configurations.cc.o.d"
+  "fig8_configurations"
+  "fig8_configurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

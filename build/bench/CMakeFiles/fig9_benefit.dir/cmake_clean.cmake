@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_benefit.dir/fig9_benefit.cc.o"
+  "CMakeFiles/fig9_benefit.dir/fig9_benefit.cc.o.d"
+  "fig9_benefit"
+  "fig9_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

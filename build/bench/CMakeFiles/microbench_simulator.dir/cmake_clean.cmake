@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_simulator.dir/microbench_simulator.cc.o"
+  "CMakeFiles/microbench_simulator.dir/microbench_simulator.cc.o.d"
+  "microbench_simulator"
+  "microbench_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

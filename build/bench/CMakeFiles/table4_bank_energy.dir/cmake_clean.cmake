@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_bank_energy.dir/table4_bank_energy.cc.o"
+  "CMakeFiles/table4_bank_energy.dir/table4_bank_energy.cc.o.d"
+  "table4_bank_energy"
+  "table4_bank_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bank_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_bank_conflicts.dir/table5_bank_conflicts.cc.o"
+  "CMakeFiles/table5_bank_conflicts.dir/table5_bank_conflicts.cc.o.d"
+  "table5_bank_conflicts"
+  "table5_bank_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_bank_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_kernel_app.dir/multi_kernel_app.cpp.o"
+  "CMakeFiles/multi_kernel_app.dir/multi_kernel_app.cpp.o.d"
+  "multi_kernel_app"
+  "multi_kernel_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_kernel_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/needle_tuning.cpp" "examples/CMakeFiles/needle_tuning.dir/needle_tuning.cpp.o" "gcc" "examples/CMakeFiles/needle_tuning.dir/needle_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/unimem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/unimem_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/unimem_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/unimem_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/unimem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/unimem_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfile/CMakeFiles/unimem_regfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/unimem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/unimem_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unimem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/needle_tuning.dir/needle_tuning.cpp.o"
+  "CMakeFiles/needle_tuning.dir/needle_tuning.cpp.o.d"
+  "needle_tuning"
+  "needle_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/needle_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

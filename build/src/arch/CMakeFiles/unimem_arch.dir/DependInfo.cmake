@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/kernel_params.cc" "src/arch/CMakeFiles/unimem_arch.dir/kernel_params.cc.o" "gcc" "src/arch/CMakeFiles/unimem_arch.dir/kernel_params.cc.o.d"
+  "/root/repo/src/arch/opcode.cc" "src/arch/CMakeFiles/unimem_arch.dir/opcode.cc.o" "gcc" "src/arch/CMakeFiles/unimem_arch.dir/opcode.cc.o.d"
+  "/root/repo/src/arch/spill_injector.cc" "src/arch/CMakeFiles/unimem_arch.dir/spill_injector.cc.o" "gcc" "src/arch/CMakeFiles/unimem_arch.dir/spill_injector.cc.o.d"
+  "/root/repo/src/arch/trace_io.cc" "src/arch/CMakeFiles/unimem_arch.dir/trace_io.cc.o" "gcc" "src/arch/CMakeFiles/unimem_arch.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unimem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_arch.dir/kernel_params.cc.o"
+  "CMakeFiles/unimem_arch.dir/kernel_params.cc.o.d"
+  "CMakeFiles/unimem_arch.dir/opcode.cc.o"
+  "CMakeFiles/unimem_arch.dir/opcode.cc.o.d"
+  "CMakeFiles/unimem_arch.dir/spill_injector.cc.o"
+  "CMakeFiles/unimem_arch.dir/spill_injector.cc.o.d"
+  "CMakeFiles/unimem_arch.dir/trace_io.cc.o"
+  "CMakeFiles/unimem_arch.dir/trace_io.cc.o.d"
+  "libunimem_arch.a"
+  "libunimem_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

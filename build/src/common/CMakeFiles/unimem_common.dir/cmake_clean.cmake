@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_common.dir/cli.cc.o"
+  "CMakeFiles/unimem_common.dir/cli.cc.o.d"
+  "CMakeFiles/unimem_common.dir/log.cc.o"
+  "CMakeFiles/unimem_common.dir/log.cc.o.d"
+  "CMakeFiles/unimem_common.dir/stats.cc.o"
+  "CMakeFiles/unimem_common.dir/stats.cc.o.d"
+  "CMakeFiles/unimem_common.dir/table.cc.o"
+  "CMakeFiles/unimem_common.dir/table.cc.o.d"
+  "libunimem_common.a"
+  "libunimem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

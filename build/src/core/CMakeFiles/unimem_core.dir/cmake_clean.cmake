@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_core.dir/allocation.cc.o"
+  "CMakeFiles/unimem_core.dir/allocation.cc.o.d"
+  "CMakeFiles/unimem_core.dir/conflict_model.cc.o"
+  "CMakeFiles/unimem_core.dir/conflict_model.cc.o.d"
+  "CMakeFiles/unimem_core.dir/partition.cc.o"
+  "CMakeFiles/unimem_core.dir/partition.cc.o.d"
+  "libunimem_core.a"
+  "libunimem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_energy.dir/energy_model.cc.o"
+  "CMakeFiles/unimem_energy.dir/energy_model.cc.o.d"
+  "libunimem_energy.a"
+  "libunimem_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

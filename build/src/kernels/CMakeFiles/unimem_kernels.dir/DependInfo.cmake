@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/aes.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/aes.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/aes.cc.o.d"
+  "/root/repo/src/kernels/backprop.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/backprop.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/backprop.cc.o.d"
+  "/root/repo/src/kernels/bfs.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/bfs.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/bfs.cc.o.d"
+  "/root/repo/src/kernels/bicubictexture.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/bicubictexture.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/bicubictexture.cc.o.d"
+  "/root/repo/src/kernels/dct8x8.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/dct8x8.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/dct8x8.cc.o.d"
+  "/root/repo/src/kernels/dgemm.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/dgemm.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/dgemm.cc.o.d"
+  "/root/repo/src/kernels/dwthaar1d.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/dwthaar1d.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/dwthaar1d.cc.o.d"
+  "/root/repo/src/kernels/hotspot.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/hotspot.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/hotspot.cc.o.d"
+  "/root/repo/src/kernels/hwt.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/hwt.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/hwt.cc.o.d"
+  "/root/repo/src/kernels/lps.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/lps.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/lps.cc.o.d"
+  "/root/repo/src/kernels/lu.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/lu.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/lu.cc.o.d"
+  "/root/repo/src/kernels/matrixmul.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/matrixmul.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/matrixmul.cc.o.d"
+  "/root/repo/src/kernels/mummer.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/mummer.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/mummer.cc.o.d"
+  "/root/repo/src/kernels/nbody.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/nbody.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/nbody.cc.o.d"
+  "/root/repo/src/kernels/needle.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/needle.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/needle.cc.o.d"
+  "/root/repo/src/kernels/nn.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/nn.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/nn.cc.o.d"
+  "/root/repo/src/kernels/pcr.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/pcr.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/pcr.cc.o.d"
+  "/root/repo/src/kernels/ray.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/ray.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/ray.cc.o.d"
+  "/root/repo/src/kernels/recursivegaussian.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/recursivegaussian.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/recursivegaussian.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/registry.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/registry.cc.o.d"
+  "/root/repo/src/kernels/sad.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/sad.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/sad.cc.o.d"
+  "/root/repo/src/kernels/scalarprod.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/scalarprod.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/scalarprod.cc.o.d"
+  "/root/repo/src/kernels/sgemv.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/sgemv.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/sgemv.cc.o.d"
+  "/root/repo/src/kernels/sobolqrng.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/sobolqrng.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/sobolqrng.cc.o.d"
+  "/root/repo/src/kernels/srad.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/srad.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/srad.cc.o.d"
+  "/root/repo/src/kernels/step_program.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/step_program.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/step_program.cc.o.d"
+  "/root/repo/src/kernels/sto.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/sto.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/sto.cc.o.d"
+  "/root/repo/src/kernels/vectoradd.cc" "src/kernels/CMakeFiles/unimem_kernels.dir/vectoradd.cc.o" "gcc" "src/kernels/CMakeFiles/unimem_kernels.dir/vectoradd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/unimem_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unimem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

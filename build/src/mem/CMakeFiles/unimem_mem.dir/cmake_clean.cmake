@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_mem.dir/bank_conflicts.cc.o"
+  "CMakeFiles/unimem_mem.dir/bank_conflicts.cc.o.d"
+  "CMakeFiles/unimem_mem.dir/cache.cc.o"
+  "CMakeFiles/unimem_mem.dir/cache.cc.o.d"
+  "CMakeFiles/unimem_mem.dir/coalescer.cc.o"
+  "CMakeFiles/unimem_mem.dir/coalescer.cc.o.d"
+  "CMakeFiles/unimem_mem.dir/dram.cc.o"
+  "CMakeFiles/unimem_mem.dir/dram.cc.o.d"
+  "libunimem_mem.a"
+  "libunimem_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunimem_mem.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regfile/rf_hierarchy.cc" "src/regfile/CMakeFiles/unimem_regfile.dir/rf_hierarchy.cc.o" "gcc" "src/regfile/CMakeFiles/unimem_regfile.dir/rf_hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/unimem_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/unimem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unimem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_regfile.dir/rf_hierarchy.cc.o"
+  "CMakeFiles/unimem_regfile.dir/rf_hierarchy.cc.o.d"
+  "libunimem_regfile.a"
+  "libunimem_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

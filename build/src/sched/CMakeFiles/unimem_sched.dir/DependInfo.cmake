@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/occupancy.cc" "src/sched/CMakeFiles/unimem_sched.dir/occupancy.cc.o" "gcc" "src/sched/CMakeFiles/unimem_sched.dir/occupancy.cc.o.d"
+  "/root/repo/src/sched/scoreboard.cc" "src/sched/CMakeFiles/unimem_sched.dir/scoreboard.cc.o" "gcc" "src/sched/CMakeFiles/unimem_sched.dir/scoreboard.cc.o.d"
+  "/root/repo/src/sched/two_level_scheduler.cc" "src/sched/CMakeFiles/unimem_sched.dir/two_level_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/unimem_sched.dir/two_level_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/unimem_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unimem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

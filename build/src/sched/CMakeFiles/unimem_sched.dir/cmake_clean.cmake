@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_sched.dir/occupancy.cc.o"
+  "CMakeFiles/unimem_sched.dir/occupancy.cc.o.d"
+  "CMakeFiles/unimem_sched.dir/scoreboard.cc.o"
+  "CMakeFiles/unimem_sched.dir/scoreboard.cc.o.d"
+  "CMakeFiles/unimem_sched.dir/two_level_scheduler.cc.o"
+  "CMakeFiles/unimem_sched.dir/two_level_scheduler.cc.o.d"
+  "libunimem_sched.a"
+  "libunimem_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_sim.dir/experiments.cc.o"
+  "CMakeFiles/unimem_sim.dir/experiments.cc.o.d"
+  "CMakeFiles/unimem_sim.dir/multi_kernel.cc.o"
+  "CMakeFiles/unimem_sim.dir/multi_kernel.cc.o.d"
+  "CMakeFiles/unimem_sim.dir/simulator.cc.o"
+  "CMakeFiles/unimem_sim.dir/simulator.cc.o.d"
+  "libunimem_sim.a"
+  "libunimem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

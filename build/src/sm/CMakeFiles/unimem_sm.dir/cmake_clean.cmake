@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_sm.dir/chip.cc.o"
+  "CMakeFiles/unimem_sm.dir/chip.cc.o.d"
+  "CMakeFiles/unimem_sm.dir/sm.cc.o"
+  "CMakeFiles/unimem_sm.dir/sm.cc.o.d"
+  "CMakeFiles/unimem_sm.dir/sm_stats.cc.o"
+  "CMakeFiles/unimem_sm.dir/sm_stats.cc.o.d"
+  "CMakeFiles/unimem_sm.dir/tex_unit.cc.o"
+  "CMakeFiles/unimem_sm.dir/tex_unit.cc.o.d"
+  "libunimem_sm.a"
+  "libunimem_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

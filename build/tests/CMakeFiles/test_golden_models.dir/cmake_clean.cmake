@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_models.dir/test_golden_models.cc.o"
+  "CMakeFiles/test_golden_models.dir/test_golden_models.cc.o.d"
+  "test_golden_models"
+  "test_golden_models.pdb"
+  "test_golden_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm_advanced.dir/test_sm_advanced.cc.o"
+  "CMakeFiles/test_sm_advanced.dir/test_sm_advanced.cc.o.d"
+  "test_sm_advanced"
+  "test_sm_advanced.pdb"
+  "test_sm_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_regfile[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_sm[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_sm_advanced[1]_include.cmake")
+include("/root/repo/build/tests/test_chip[1]_include.cmake")
+include("/root/repo/build/tests/test_golden_models[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_structure[1]_include.cmake")

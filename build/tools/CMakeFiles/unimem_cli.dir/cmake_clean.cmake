@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimem_cli.dir/unimem_cli.cpp.o"
+  "CMakeFiles/unimem_cli.dir/unimem_cli.cpp.o.d"
+  "unimem_cli"
+  "unimem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
