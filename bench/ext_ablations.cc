@@ -16,6 +16,7 @@
  *     idea: "disabling unneeded memory").
  *
  * Flags: --scale=<f> (default 0.35)
+ *        --jobs=<n>  sweep worker threads
  */
 
 #include <iostream>
@@ -24,24 +25,45 @@
 #include "common/table.hh"
 #include "kernels/registry.hh"
 #include "sim/experiments.hh"
+#include "sim/sweep.hh"
 
 using namespace unimem;
 
 namespace {
 
+/** Paired A/B sweep: per name, run both specs and return the results. */
+std::vector<SimResult>
+pairedSweep(const std::vector<const char*>& names, const RunSpec& a,
+            const RunSpec& b, double scale, u32 jobs)
+{
+    std::vector<SweepJob> sweep;
+    for (const char* name : names) {
+        sweep.push_back(makeSweepJob(std::string(name) + "/a", name,
+                                     scale, a));
+        sweep.push_back(makeSweepJob(std::string(name) + "/b", name,
+                                     scale, b));
+    }
+    return runSweep(sweep, jobs);
+}
+
 void
-writePolicyAblation(double scale)
+writePolicyAblation(double scale, u32 jobs)
 {
     std::cout << "--- 1. cache write policy (unified 384KB) ---\n";
     Table t({"workload", "WT cycles", "WB cycles", "WB/WT perf",
              "WT dram", "WB dram", "WB dirty lines at end"});
-    for (const char* name : {"vectoradd", "srad", "bfs", "lps", "nn"}) {
-        RunSpec wt;
-        wt.design = DesignKind::Unified;
-        RunSpec wb = wt;
-        wb.cachePolicy = WritePolicy::WriteBack;
-        SimResult rt = simulateBenchmark(name, scale, wt);
-        SimResult rb = simulateBenchmark(name, scale, wb);
+    std::vector<const char*> names{"vectoradd", "srad", "bfs", "lps",
+                                   "nn"};
+    RunSpec wt;
+    wt.design = DesignKind::Unified;
+    RunSpec wb = wt;
+    wb.cachePolicy = WritePolicy::WriteBack;
+    std::vector<SimResult> results =
+        pairedSweep(names, wt, wb, scale, jobs);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const char* name = names[i];
+        const SimResult& rt = results[2 * i];
+        const SimResult& rb = results[2 * i + 1];
         t.addRow({name, std::to_string(rt.cycles()),
                   std::to_string(rb.cycles()),
                   Table::num(static_cast<double>(rt.cycles()) /
@@ -58,18 +80,22 @@ writePolicyAblation(double scale)
 }
 
 void
-rfHierarchyAblation(double scale)
+rfHierarchyAblation(double scale, u32 jobs)
 {
     std::cout << "--- 2. register file hierarchy (unified 384KB) ---\n";
     Table t({"workload", "MRF reduction", "perf with/without",
              "conflict cycles with/without"});
-    for (const char* name : {"dgemm", "pcr", "aes", "needle"}) {
-        RunSpec with;
-        with.design = DesignKind::Unified;
-        RunSpec without = with;
-        without.rfHierarchy = false;
-        SimResult rw = simulateBenchmark(name, scale, with);
-        SimResult rwo = simulateBenchmark(name, scale, without);
+    std::vector<const char*> names{"dgemm", "pcr", "aes", "needle"};
+    RunSpec with;
+    with.design = DesignKind::Unified;
+    RunSpec without = with;
+    without.rfHierarchy = false;
+    std::vector<SimResult> results =
+        pairedSweep(names, with, without, scale, jobs);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const char* name = names[i];
+        const SimResult& rw = results[2 * i];
+        const SimResult& rwo = results[2 * i + 1];
         t.addRow({name, Table::num(rw.sm.rf.reduction() * 100.0, 1) + "%",
                   Table::num(static_cast<double>(rwo.cycles()) /
                                  static_cast<double>(rw.cycles()),
@@ -82,23 +108,31 @@ rfHierarchyAblation(double scale)
 }
 
 void
-activeSetAblation(double scale)
+activeSetAblation(double scale, u32 jobs)
 {
     std::cout << "--- 3. two-level scheduler active set size ---\n";
     Table t({"workload", "4", "8 (paper)", "16", "32 (flat)"});
-    for (const char* name : {"bfs", "dgemm", "vectoradd"}) {
-        RunSpec ref;
-        ref.activeSetSize = 8;
-        double base = static_cast<double>(
-            simulateBenchmark(name, scale, ref).cycles());
-        std::vector<std::string> row{name};
-        for (u32 size : {4u, 8u, 16u, 32u}) {
+    std::vector<const char*> names{"bfs", "dgemm", "vectoradd"};
+    const u32 sizes[] = {4u, 8u, 16u, 32u};
+    std::vector<SweepJob> sweep;
+    for (const char* name : names) {
+        for (u32 size : sizes) {
             RunSpec spec;
             spec.activeSetSize = size;
-            SimResult r = simulateBenchmark(name, scale, spec);
-            row.push_back(Table::num(
-                base / static_cast<double>(r.cycles()), 3));
+            sweep.push_back(makeSweepJob(
+                std::string(name) + "/as" + std::to_string(size), name,
+                scale, spec));
         }
+    }
+    std::vector<SimResult> results = runSweep(sweep, jobs);
+    for (size_t i = 0; i < names.size(); ++i) {
+        // The size-8 point doubles as the normalization reference.
+        double base = static_cast<double>(results[4 * i + 1].cycles());
+        std::vector<std::string> row{names[i]};
+        for (size_t j = 0; j < 4; ++j)
+            row.push_back(Table::num(
+                base / static_cast<double>(results[4 * i + j].cycles()),
+                3));
         t.addRow(row);
     }
     t.print(std::cout);
@@ -108,15 +142,33 @@ activeSetAblation(double scale)
 }
 
 void
-autotuneAblation(double scale)
+autotuneAblation(double scale, u32 jobs)
 {
     std::cout << "--- 4. Section 4.5 max-threads vs autotuned thread "
                  "count (unified 384KB) ---\n";
     Table t({"workload", "max threads", "autotuned threads",
              "autotune gain"});
-    for (const std::string& name : benefitBenchmarkNames()) {
-        SimResult maxed = runUnified(name, scale, 384_KB);
-        SimResult tuned = runUnifiedAutotuned(name, scale, 384_KB);
+    std::vector<std::string> names = benefitBenchmarkNames();
+    std::vector<SweepJob> sweep;
+    for (const std::string& name : names) {
+        SweepJob maxJob;
+        maxJob.label = name + "/max-threads";
+        maxJob.run = [name, scale] {
+            return runUnified(name, scale, 384_KB);
+        };
+        sweep.push_back(maxJob);
+        SweepJob tunedJob;
+        tunedJob.label = name + "/autotuned";
+        tunedJob.run = [name, scale] {
+            return runUnifiedAutotuned(name, scale, 384_KB);
+        };
+        sweep.push_back(tunedJob);
+    }
+    std::vector<SimResult> results = runSweep(sweep, jobs);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const std::string& name = names[i];
+        const SimResult& maxed = results[2 * i];
+        const SimResult& tuned = results[2 * i + 1];
         t.addRow({name, std::to_string(maxed.alloc.launch.threads),
                   std::to_string(tuned.alloc.launch.threads),
                   Table::num(static_cast<double>(maxed.cycles()) /
@@ -176,12 +228,15 @@ main(int argc, char** argv)
 {
     CliArgs args(argc, argv);
     double scale = args.getDouble("scale", 0.35);
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
 
     std::cout << "=== EXTENSION: design-choice ablations ===\n\n";
-    writePolicyAblation(scale);
-    rfHierarchyAblation(scale);
-    activeSetAblation(scale);
-    autotuneAblation(scale);
+    writePolicyAblation(scale, jobs);
+    rfHierarchyAblation(scale, jobs);
+    activeSetAblation(scale, jobs);
+    autotuneAblation(scale, jobs);
+    // Each capacity step depends on the previous one's runtime (early
+    // exit), so the power-gating sweep stays serial.
     powerGatingAblation(scale);
     return 0;
 }

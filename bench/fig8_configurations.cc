@@ -2,29 +2,59 @@
  * @file
  * Reproduces paper Figure 8: how the Section 4.5 allocation algorithm
  * partitions 384 KB of unified memory for each benefit application
- * (register file / scratchpad / cache split, plus threads).
+ * (register file / scratchpad / cache split, plus threads), and what the
+ * resulting configuration buys over the partitioned baseline (speedup,
+ * energy, DRAM ratios computed by the parallel sweep engine).
+ *
+ * Flags: --scale=<f> (default 0.1)
+ *        --jobs=<n>  sweep worker threads (default: UNIMEM_JOBS or all
+ *                    hardware threads)
  */
 
 #include <iostream>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "core/allocation.hh"
 #include "kernels/registry.hh"
+#include "sim/experiments.hh"
+#include "sim/sweep.hh"
 
 using namespace unimem;
 
 int
-main()
+main(int argc, char** argv)
 {
+    CliArgs args(argc, argv);
+    double scale = args.getDouble("scale", 0.1);
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
+
     std::cout << "=== Figure 8: 384KB unified memory configuration per "
                  "benchmark (Section 4.5 allocation) ===\n\n";
 
+    // Two sweep points per workload: partitioned baseline and unified,
+    // submitted pairwise so results come back [base0, uni0, base1, ...].
+    std::vector<std::string> names = benefitBenchmarkNames();
+    std::vector<SweepJob> sweep;
+    for (const std::string& name : names) {
+        sweep.push_back(
+            makeSweepJob(name + "/baseline", name, scale, RunSpec{}));
+        RunSpec uni;
+        uni.design = DesignKind::Unified;
+        uni.unifiedCapacity = 384_KB;
+        sweep.push_back(makeSweepJob(name + "/unified", name, scale, uni));
+    }
+    SweepStats stats;
+    std::vector<SimResult> results = runSweep(sweep, jobs, &stats);
+
     Table t({"workload", "RF KB", "shared KB", "cache KB", "threads",
-             "regs/thread"});
-    for (const std::string& name : benefitBenchmarkNames()) {
-        auto k = createBenchmark(name, 0.1);
-        AllocationDecision d = allocateUnified(k->params(), 384_KB);
-        t.addRow({name,
+             "regs/thread", "perf", "energy", "dram"});
+    for (size_t i = 0; i < names.size(); ++i) {
+        const SimResult& base = results[2 * i];
+        const SimResult& uni = results[2 * i + 1];
+        const AllocationDecision& d = uni.alloc;
+        Comparison c = compare(uni, base);
+        t.addRow({names[i],
                   Table::num(static_cast<double>(d.partition.rfBytes) /
                                  1024.0,
                              0),
@@ -36,12 +66,15 @@ main()
                                  1024.0,
                              0),
                   std::to_string(d.launch.threads),
-                  std::to_string(d.launch.regsPerThread)});
+                  std::to_string(d.launch.regsPerThread),
+                  Table::num(c.speedup, 3), Table::num(c.energyRatio, 3),
+                  Table::num(c.dramRatio, 3)});
     }
     t.print(std::cout);
 
     std::cout << "\nPaper reference: RF ranges from 36KB (bfs) to 228KB "
                  "(dgemm); needle devotes 264KB to scratchpad; leftovers "
-                 "become cache.\n";
+                 "become cache.\n"
+              << "sweep: " << stats.summary() << "\n";
     return 0;
 }

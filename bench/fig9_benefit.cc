@@ -10,6 +10,7 @@
  * Ablation: --no-rf-hierarchy runs both designs without the ORF/LRF
  * (DESIGN.md Section 5, item 2 - the hierarchy is the key enabler).
  * Flags: --scale=<f> (default 0.5)
+ *        --jobs=<n>  sweep worker threads
  */
 
 #include <iostream>
@@ -18,6 +19,7 @@
 #include "common/table.hh"
 #include "kernels/registry.hh"
 #include "sim/experiments.hh"
+#include "sim/sweep.hh"
 
 using namespace unimem;
 
@@ -27,6 +29,7 @@ main(int argc, char** argv)
     CliArgs args(argc, argv);
     double scale = args.getDouble("scale", 0.5);
     bool rf = !args.getBool("no-rf-hierarchy", false);
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
 
     std::cout << "=== Figure 9: unified (384KB) vs partitioned, benefit "
                  "applications ===\n"
@@ -34,25 +37,33 @@ main(int argc, char** argv)
               << (rf ? "" : "  [ABLATION: RF hierarchy disabled]")
               << "\n\n";
 
-    Table t({"workload", "norm perf", "norm energy", "norm dram",
-             "threads part->uni"});
-    double sum = 0.0;
-    int n = 0;
-    for (const std::string& name : benefitBenchmarkNames()) {
+    std::vector<std::string> names = benefitBenchmarkNames();
+    std::vector<SweepJob> sweep;
+    for (const std::string& name : names) {
         double s = name == "dgemm" ? std::max(scale, 0.75) : scale;
 
         RunSpec pspec;
         pspec.rfHierarchy = rf;
-        SimResult base = simulateBenchmark(name, s, pspec);
+        sweep.push_back(makeSweepJob(name + "/baseline", name, s, pspec));
 
         RunSpec uspec;
         uspec.design = DesignKind::Unified;
         uspec.unifiedCapacity = 384_KB;
         uspec.rfHierarchy = rf;
-        SimResult uni = simulateBenchmark(name, s, uspec);
+        sweep.push_back(makeSweepJob(name + "/unified", name, s, uspec));
+    }
+    SweepStats stats;
+    std::vector<SimResult> results = runSweep(sweep, jobs, &stats);
 
+    Table t({"workload", "norm perf", "norm energy", "norm dram",
+             "threads part->uni"});
+    double sum = 0.0;
+    int n = 0;
+    for (size_t i = 0; i < names.size(); ++i) {
+        const SimResult& base = results[2 * i];
+        const SimResult& uni = results[2 * i + 1];
         Comparison c = compare(uni, base);
-        t.addRow({name, Table::num(c.speedup, 3),
+        t.addRow({names[i], Table::num(c.speedup, 3),
                   Table::num(c.energyRatio, 3),
                   Table::num(c.dramRatio, 3),
                   std::to_string(base.alloc.launch.threads) + " -> " +
@@ -62,6 +73,7 @@ main(int argc, char** argv)
     }
     t.print(std::cout);
     std::cout << "\naverage speedup: " << Table::num(sum / n, 3)
-              << "  (paper: 1.162; range 1.042..1.708)\n";
+              << "  (paper: 1.162; range 1.042..1.708)\n"
+              << "sweep: " << stats.summary() << "\n";
     return 0;
 }

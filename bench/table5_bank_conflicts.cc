@@ -9,6 +9,7 @@
  * penalties (DESIGN.md Section 5, item 1).
  *
  * Flags: --scale=<f> (default 0.35)
+ *        --jobs=<n>  sweep worker threads
  */
 
 #include <iostream>
@@ -17,7 +18,7 @@
 #include "common/table.hh"
 #include "kernels/registry.hh"
 #include "mem/bank_conflicts.hh"
-#include "sim/simulator.hh"
+#include "sim/sweep.hh"
 
 using namespace unimem;
 
@@ -26,31 +27,47 @@ main(int argc, char** argv)
 {
     CliArgs args(argc, argv);
     double scale = args.getDouble("scale", 0.35);
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
 
     std::cout << "=== Table 5: warp instructions by max accesses to a "
                  "single bank ===\n"
               << "(averaged across the Figure 7 no-benefit benchmarks)\n\n";
 
+    // Four sweep points per workload: partitioned and unified, each
+    // with and without conflict penalties.
+    std::vector<std::string> names = noBenefitBenchmarkNames();
+    std::vector<SweepJob> sweep;
+    for (const std::string& name : names) {
+        RunSpec p;
+        sweep.push_back(makeSweepJob(name + "/part", name, scale, p));
+        RunSpec u;
+        u.design = DesignKind::Unified;
+        sweep.push_back(makeSweepJob(name + "/uni", name, scale, u));
+        p.conflictPenalties = false;
+        u.conflictPenalties = false;
+        sweep.push_back(
+            makeSweepJob(name + "/part-nopenalty", name, scale, p));
+        sweep.push_back(
+            makeSweepJob(name + "/uni-nopenalty", name, scale, u));
+    }
+    SweepStats stats;
+    std::vector<SimResult> results = runSweep(sweep, jobs, &stats);
+
     ConflictHistogram part, uni;
     u64 part_cycles = 0, part_cycles_np = 0;
     u64 uni_cycles = 0, uni_cycles_np = 0;
 
-    for (const std::string& name : noBenefitBenchmarkNames()) {
-        RunSpec p;
-        SimResult rp = simulateBenchmark(name, scale, p);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const SimResult& rp = results[4 * i];
         part.merge(rp.sm.conflictHist);
         part_cycles += rp.cycles();
 
-        RunSpec u;
-        u.design = DesignKind::Unified;
-        SimResult ru = simulateBenchmark(name, scale, u);
+        const SimResult& ru = results[4 * i + 1];
         uni.merge(ru.sm.conflictHist);
         uni_cycles += ru.cycles();
 
-        p.conflictPenalties = false;
-        u.conflictPenalties = false;
-        part_cycles_np += simulateBenchmark(name, scale, p).cycles();
-        uni_cycles_np += simulateBenchmark(name, scale, u).cycles();
+        part_cycles_np += results[4 * i + 2].cycles();
+        uni_cycles_np += results[4 * i + 3].cycles();
     }
 
     Table t({"design", "<=1", "2", "3", "4", ">4"});
@@ -84,6 +101,7 @@ main(int argc, char** argv)
                              1.0) *
                                 100.0,
                             2)
-              << "%)\n";
+              << "%)\n"
+              << "\nsweep: " << stats.summary() << "\n";
     return 0;
 }

@@ -10,6 +10,7 @@
  * energy at 128KB.
  *
  * Flags: --scale=<f> (default 0.35)
+ *        --jobs=<n>  sweep worker threads
  */
 
 #include <iostream>
@@ -18,57 +19,105 @@
 #include "common/table.hh"
 #include "kernels/registry.hh"
 #include "sim/experiments.hh"
+#include "sim/sweep.hh"
 
 using namespace unimem;
+
+namespace {
+
+/** Sweep-result indices for one benchmark's row (-1 = does not fit). */
+struct RowPlan
+{
+    std::string name;
+    double scale = 0.0;
+    int baseIdx = -1;
+    std::array<int, 3> uniIdx{-1, -1, -1};
+};
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
     CliArgs args(argc, argv);
     double scale = args.getDouble("scale", 0.35);
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
     const u64 caps[] = {128_KB, 256_KB, 384_KB};
 
     std::cout << "=== Table 6: unified capacity sensitivity ===\n"
               << "(normalized to the partitioned 256/64/64 baseline; "
                  "perf higher better, energy lower better)\n\n";
 
+    // Plan the whole table as one sweep: a baseline point per workload
+    // plus one unified point per feasible capacity.
+    std::vector<SweepJob> sweep;
+    std::vector<RowPlan> plans;
+    auto plan_benchmark = [&](const std::string& name, double s) {
+        RowPlan plan;
+        plan.name = name;
+        plan.scale = s;
+        plan.baseIdx = static_cast<int>(sweep.size());
+        sweep.push_back(
+            makeSweepJob(name + "/baseline", name, s, RunSpec{}));
+        for (int i = 0; i < 3; ++i) {
+            auto k = createBenchmark(name, s);
+            if (!allocateUnified(k->params(), caps[i]).launch.feasible)
+                continue;
+            plan.uniIdx[i] = static_cast<int>(sweep.size());
+            RunSpec spec;
+            spec.design = DesignKind::Unified;
+            spec.unifiedCapacity = caps[i];
+            sweep.push_back(makeSweepJob(
+                name + "/" + std::to_string(caps[i] / 1024) + "K", name,
+                s, spec));
+        }
+        plans.push_back(plan);
+    };
+
+    for (const std::string& name : benefitBenchmarkNames())
+        plan_benchmark(name,
+                       name == "dgemm" ? std::max(scale, 0.75) : scale);
+    size_t benefitRows = plans.size();
+    for (const std::string& name : noBenefitBenchmarkNames())
+        plan_benchmark(name, scale);
+
+    SweepStats stats;
+    std::vector<SimResult> results = runSweep(sweep, jobs, &stats);
+
     Table t({"workload", "perf 128K", "perf 256K", "perf 384K",
              "energy 128K", "energy 256K", "energy 384K"});
 
-    auto add_benchmark = [&](const std::string& name, double s,
-                             std::array<double, 3>& perf,
-                             std::array<double, 3>& energy) {
-        SimResult base = runBaseline(name, s);
+    auto row_metrics = [&](const RowPlan& plan,
+                           std::array<double, 3>& perf,
+                           std::array<double, 3>& energy) {
+        const SimResult& base = results[plan.baseIdx];
         for (int i = 0; i < 3; ++i) {
-            auto k = createBenchmark(name, s);
-            AllocationDecision d = allocateUnified(k->params(), caps[i]);
-            if (!d.launch.feasible) {
+            if (plan.uniIdx[i] < 0) {
                 perf[i] = 0.0;
                 energy[i] = 0.0;
                 continue;
             }
-            SimResult uni = runUnified(name, s, caps[i]);
-            Comparison c = compare(uni, base);
+            Comparison c = compare(results[plan.uniIdx[i]], base);
             perf[i] = c.speedup;
             energy[i] = c.energyRatio;
         }
     };
 
-    for (const std::string& name : benefitBenchmarkNames()) {
-        double s = name == "dgemm" ? std::max(scale, 0.75) : scale;
+    for (size_t r = 0; r < benefitRows; ++r) {
         std::array<double, 3> perf{}, energy{};
-        add_benchmark(name, s, perf, energy);
-        t.addRow({name, Table::num(perf[0], 2), Table::num(perf[1], 2),
-                  Table::num(perf[2], 2), Table::num(energy[0], 2),
-                  Table::num(energy[1], 2), Table::num(energy[2], 2)});
+        row_metrics(plans[r], perf, energy);
+        t.addRow({plans[r].name, Table::num(perf[0], 2),
+                  Table::num(perf[1], 2), Table::num(perf[2], 2),
+                  Table::num(energy[0], 2), Table::num(energy[1], 2),
+                  Table::num(energy[2], 2)});
     }
 
     // Average over the Figure 7 set (paper's last row).
     std::array<double, 3> perf_sum{}, energy_sum{};
     std::array<int, 3> counts{};
-    for (const std::string& name : noBenefitBenchmarkNames()) {
+    for (size_t r = benefitRows; r < plans.size(); ++r) {
         std::array<double, 3> perf{}, energy{};
-        add_benchmark(name, scale, perf, energy);
+        row_metrics(plans[r], perf, energy);
         for (int i = 0; i < 3; ++i) {
             if (perf[i] > 0.0) {
                 perf_sum[i] += perf[i];
@@ -88,6 +137,7 @@ main(int argc, char** argv)
     std::cout << "\n(0.00 = kernel does not fit at that capacity; paper "
                  "Table 6 reference: average benefit-set perf "
                  "0.97/1.14/1.16, energy 0.98/0.87/0.87; fig7 set perf "
-                 "0.99/1.00/1.00, energy 0.93/0.96/1.00)\n";
+                 "0.99/1.00/1.00, energy 0.93/0.96/1.00)\n"
+              << "sweep: " << stats.summary() << "\n";
     return 0;
 }

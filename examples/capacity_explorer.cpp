@@ -7,7 +7,7 @@
  * Section 6.4.
  *
  * Usage:
- *   capacity_explorer [--benchmark=pcr] [--scale=0.5]
+ *   capacity_explorer [--benchmark=pcr] [--scale=0.5] [--jobs=N]
  *                     [--min-kb=96] [--max-kb=512] [--step-kb=32]
  */
 
@@ -17,6 +17,7 @@
 #include "common/table.hh"
 #include "kernels/registry.hh"
 #include "sim/experiments.hh"
+#include "sim/sweep.hh"
 
 using namespace unimem;
 
@@ -26,6 +27,7 @@ main(int argc, char** argv)
     CliArgs args(argc, argv);
     std::string name = args.getString("benchmark", "pcr");
     double scale = args.getDouble("scale", 0.5);
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
     u64 min_kb = static_cast<u64>(args.getInt("min-kb", 96));
     u64 max_kb = static_cast<u64>(args.getInt("max-kb", 512));
     u64 step_kb = static_cast<u64>(args.getInt("step-kb", 32));
@@ -39,19 +41,37 @@ main(int argc, char** argv)
               << min_kb << "KB.." << max_kb << "KB (baseline: partitioned "
               << "256/64/64)\n\n";
 
-    SimResult base = runBaseline(name, scale);
+    // One sweep: the baseline plus every feasible capacity point.
+    std::vector<SweepJob> sweep;
+    sweep.push_back(
+        makeSweepJob(name + "/baseline", name, scale, RunSpec{}));
+    std::vector<u64> feasibleKb;
+    for (u64 kb = min_kb; kb <= max_kb; kb += step_kb) {
+        auto k = createBenchmark(name, scale);
+        if (!allocateUnified(k->params(), kb * 1024).launch.feasible)
+            continue;
+        RunSpec spec;
+        spec.design = DesignKind::Unified;
+        spec.unifiedCapacity = kb * 1024;
+        sweep.push_back(makeSweepJob(
+            name + "/" + std::to_string(kb) + "K", name, scale, spec));
+        feasibleKb.push_back(kb);
+    }
+    SweepStats stats;
+    std::vector<SimResult> results = runSweep(sweep, jobs, &stats);
+    const SimResult& base = results[0];
 
     Table t({"capacity", "RF KB", "shared KB", "cache KB", "threads",
              "perf", "energy"});
+    size_t fi = 0;
     for (u64 kb = min_kb; kb <= max_kb; kb += step_kb) {
-        auto k = createBenchmark(name, scale);
-        AllocationDecision d = allocateUnified(k->params(), kb * 1024);
-        if (!d.launch.feasible) {
+        if (fi >= feasibleKb.size() || feasibleKb[fi] != kb) {
             t.addRow({std::to_string(kb) + " KB", "-", "-", "-",
                       "does not fit", "-", "-"});
             continue;
         }
-        SimResult uni = runUnified(name, scale, kb * 1024);
+        const SimResult& uni = results[1 + fi++];
+        const AllocationDecision& d = uni.alloc;
         Comparison c = compare(uni, base);
         t.addRow({std::to_string(kb) + " KB",
                   std::to_string(d.partition.rfBytes / 1024),
@@ -61,6 +81,7 @@ main(int argc, char** argv)
                   Table::num(c.speedup, 3), Table::num(c.energyRatio, 3)});
     }
     t.print(std::cout);
+    std::cout << "\nsweep: " << stats.summary() << "\n";
 
     std::cout << "\nReading the table: performance usually saturates "
                  "once occupancy is maxed and the working set is "

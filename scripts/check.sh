@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Repo verification gate:
+#   1. tier-1: configure, build, and run the full ctest suite
+#   2. concurrency: rebuild the sweep engine and its tests under
+#      ThreadSanitizer and run test_sweep to catch data races the
+#      functional suite cannot see
+#
+# Usage: scripts/check.sh [--tsan-only] [--tier1-only]
+# The TSan tree lives in build-tsan/ so it never pollutes the main
+# build; both trees are .gitignore'd.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+run_tier1=1
+run_tsan=1
+for arg in "$@"; do
+    case "$arg" in
+      --tsan-only) run_tier1=0 ;;
+      --tier1-only) run_tsan=0 ;;
+      *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
+
+if [[ $run_tier1 -eq 1 ]]; then
+    echo "=== tier-1: build + ctest ==="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS"
+    ctest --test-dir build --output-on-failure -j "$JOBS"
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+    echo "=== ThreadSanitizer: sweep engine ==="
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+    cmake --build build-tsan -j "$JOBS" --target test_sweep
+    # TSAN_OPTIONS halt_on_error makes any race a hard failure.
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sweep
+fi
+
+echo "=== check.sh: all gates passed ==="

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "kernels/registry.hh"
+#include "sim/sweep.hh"
 
 namespace unimem {
 
@@ -23,32 +24,55 @@ runUnified(const std::string& name, double scale, u64 capacity)
     return simulateBenchmark(name, scale, spec);
 }
 
+namespace {
+
+/**
+ * Run the candidate configurations through the sweep engine and keep
+ * the fastest (earliest submitted wins ties, matching the serial
+ * best-of loops these helpers replace).
+ */
+SimResult
+bestOf(const std::vector<SweepJob>& jobs)
+{
+    std::vector<SimResult> results = runSweep(jobs);
+    size_t best = 0;
+    for (size_t i = 1; i < results.size(); ++i)
+        if (results[i].cycles() < results[best].cycles())
+            best = i;
+    return std::move(results[best]);
+}
+
+} // namespace
+
 SimResult
 runFermiBest(const std::string& name, double scale, u64 totalBytes)
 {
-    std::optional<SimResult> best;
+    std::vector<SweepJob> jobs;
     for (const MemoryPartition& part : fermiLikeOptions(totalBytes)) {
         RunSpec spec;
         spec.design = DesignKind::FermiLike;
         spec.partition = part;
         std::unique_ptr<KernelModel> kernel = createBenchmark(name, scale);
-        AllocationDecision d = resolveAllocation(kernel->params(), spec);
-        if (!d.launch.feasible)
+        if (!resolveAllocation(kernel->params(), spec).launch.feasible)
             continue;
-        SimResult res = simulate(*kernel, spec);
-        if (!best || res.cycles() < best->cycles())
-            best = std::move(res);
+        jobs.push_back(makeSweepJob(name + "/fermi/" + part.str(), name,
+                                    scale, spec));
     }
-    if (!best)
+    if (jobs.empty())
         fatal("runFermiBest: no feasible Fermi-like option for %s",
               name.c_str());
-    return *best;
+    return bestOf(jobs);
 }
 
 SimResult
 runUnifiedAutotuned(const std::string& name, double scale, u64 capacity)
 {
-    std::optional<SimResult> best;
+    // Resolve allocations serially (cheap) and keep the first thread
+    // limit reaching each distinct occupancy; duplicate occupancies
+    // simulate identically, so dropping them preserves the result of
+    // the serial best-of loop while the pool runs the distinct points.
+    std::vector<SweepJob> jobs;
+    u32 lastThreads = 0;
     for (u32 limit = 256; limit <= kMaxThreadsPerSm; limit += 256) {
         RunSpec spec;
         spec.design = DesignKind::Unified;
@@ -58,16 +82,17 @@ runUnifiedAutotuned(const std::string& name, double scale, u64 capacity)
         AllocationDecision d = resolveAllocation(kernel->params(), spec);
         if (!d.launch.feasible)
             continue;
-        if (best && d.launch.threads == best->alloc.launch.threads)
-            continue; // same occupancy as a previous point
-        SimResult res = simulate(*kernel, spec);
-        if (!best || res.cycles() < best->cycles())
-            best = std::move(res);
+        if (!jobs.empty() && d.launch.threads == lastThreads)
+            continue;
+        lastThreads = d.launch.threads;
+        jobs.push_back(makeSweepJob(
+            name + "/autotune/" + std::to_string(limit), name, scale,
+            spec));
     }
-    if (!best)
+    if (jobs.empty())
         fatal("runUnifiedAutotuned: %s infeasible at %llu bytes",
               name.c_str(), static_cast<unsigned long long>(capacity));
-    return *best;
+    return bestOf(jobs);
 }
 
 double

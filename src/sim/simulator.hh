@@ -69,7 +69,21 @@ EnergyInputs energyInputsOf(const SmStats& sm,
 AllocationDecision resolveAllocation(const KernelParams& kp,
                                      const RunSpec& spec);
 
-/** Run one kernel under one spec. Fatal if the launch is infeasible. */
+/**
+ * Field-by-field equality of two results: allocation, launch, every
+ * exported SM statistic, and the derived energy inputs. This is the
+ * determinism predicate the sweep engine relies on: two simulations of
+ * the same RunSpec must satisfy it.
+ */
+bool identicalResults(const SimResult& a, const SimResult& b);
+
+/**
+ * Run one kernel under one spec. Fatal if the launch is infeasible.
+ *
+ * When the UNIMEM_CHECK_DETERMINISM environment variable is set, every
+ * simulation runs twice and panics unless both runs produce identical
+ * results (the seed-plumbing audit backing the parallel sweep engine).
+ */
 SimResult simulate(const KernelModel& kernel, const RunSpec& spec);
 
 /** Convenience: instantiate a registry benchmark and run it. */

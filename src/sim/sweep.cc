@@ -1,0 +1,194 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Set while the current thread is executing a sweep job. */
+thread_local bool tlInSweepWorker = false;
+
+struct JobOutcome
+{
+    SimResult result;
+    std::exception_ptr error;
+};
+
+SimResult
+executeJob(const SweepJob& job)
+{
+    if (job.run)
+        return job.run();
+    return simulateBenchmark(job.benchmark, job.scale, job.spec);
+}
+
+} // namespace
+
+SweepJob
+makeSweepJob(std::string label, std::string benchmark, double scale,
+             const RunSpec& spec)
+{
+    SweepJob job;
+    job.label = std::move(label);
+    job.benchmark = std::move(benchmark);
+    job.scale = scale;
+    job.spec = spec;
+    return job;
+}
+
+double
+SweepStats::utilization() const
+{
+    if (workers == 0 || wallSeconds <= 0.0)
+        return 0.0;
+    double busy = 0.0;
+    for (double s : workerBusySeconds)
+        busy += s;
+    return busy / (static_cast<double>(workers) * wallSeconds);
+}
+
+std::string
+SweepStats::summary() const
+{
+    return strprintf("%llu jobs on %u worker%s in %.3fs (utilization "
+                     "%.0f%%)",
+                     static_cast<unsigned long long>(jobCount), workers,
+                     workers == 1 ? "" : "s", wallSeconds,
+                     utilization() * 100.0);
+}
+
+SweepRunner::SweepRunner(u32 workers)
+    : workers_(resolveWorkerCount(workers))
+{
+}
+
+u32
+SweepRunner::resolveWorkerCount(u32 requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char* env = std::getenv("UNIMEM_JOBS")) {
+        long n = std::atol(env);
+        if (n > 0)
+            return static_cast<u32>(n);
+        warn("ignoring invalid UNIMEM_JOBS='%s'", env);
+    }
+    u32 hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+bool
+SweepRunner::inSweepWorker()
+{
+    return tlInSweepWorker;
+}
+
+std::vector<SimResult>
+SweepRunner::run(const std::vector<SweepJob>& jobs)
+{
+    stats_ = SweepStats{};
+    stats_.jobCount = jobs.size();
+    stats_.jobSeconds.assign(jobs.size(), 0.0);
+    stats_.jobCycles.assign(jobs.size(), 0);
+
+    // Nested sweeps run serially on the calling worker so pools never
+    // multiply; tiny batches skip thread startup entirely.
+    u32 workers = workers_;
+    if (tlInSweepWorker || jobs.size() <= 1)
+        workers = 1;
+    workers = std::min<u32>(
+        workers, static_cast<u32>(std::max<size_t>(jobs.size(), 1)));
+    stats_.workers = workers;
+    stats_.workerBusySeconds.assign(workers, 0.0);
+
+    std::vector<JobOutcome> outcomes(jobs.size());
+    Clock::time_point sweepStart = Clock::now();
+
+    // Each worker claims the next unclaimed index and writes the
+    // outcome into that index's slot: completion order never affects
+    // the returned order, which keeps parallel output byte-identical
+    // to the serial path.
+    std::atomic<size_t> next{0};
+    auto workerLoop = [&](u32 workerId) {
+        bool wasInWorker = tlInSweepWorker;
+        tlInSweepWorker = true;
+        Clock::time_point busyStart = Clock::now();
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                break;
+            Clock::time_point jobStart = Clock::now();
+            try {
+                outcomes[i].result = executeJob(jobs[i]);
+                stats_.jobCycles[i] = outcomes[i].result.cycles();
+            } catch (...) {
+                outcomes[i].error = std::current_exception();
+            }
+            stats_.jobSeconds[i] = secondsSince(jobStart);
+        }
+        stats_.workerBusySeconds[workerId] = secondsSince(busyStart);
+        tlInSweepWorker = wasInWorker;
+    };
+
+    if (workers <= 1) {
+        workerLoop(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (u32 w = 0; w < workers; ++w)
+            pool.emplace_back(workerLoop, w);
+        for (std::thread& t : pool)
+            t.join();
+    }
+    stats_.wallSeconds = secondsSince(sweepStart);
+
+    // Propagate the first failure in submission order - deterministic
+    // no matter which worker hit it first.
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].error) {
+            try {
+                std::rethrow_exception(outcomes[i].error);
+            } catch (const std::exception& e) {
+                throw std::runtime_error(
+                    strprintf("sweep job %zu ('%s') failed: %s", i,
+                              jobs[i].label.c_str(), e.what()));
+            }
+        }
+    }
+
+    std::vector<SimResult> results;
+    results.reserve(outcomes.size());
+    for (JobOutcome& o : outcomes)
+        results.push_back(std::move(o.result));
+    return results;
+}
+
+std::vector<SimResult>
+runSweep(const std::vector<SweepJob>& jobs, u32 workers,
+         SweepStats* stats)
+{
+    SweepRunner runner(workers);
+    std::vector<SimResult> results = runner.run(jobs);
+    if (stats)
+        *stats = runner.stats();
+    return results;
+}
+
+} // namespace unimem

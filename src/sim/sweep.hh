@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Parallel sweep engine: run many independent simulations concurrently
+ * on a worker pool and return the results in submission order.
+ *
+ * Every figure/table harness replays dozens of (benchmark, RunSpec)
+ * points; each point is pure (seeded RNG in, SimResult out), so the
+ * sweep parallelizes trivially. The engine guarantees determinism: each
+ * job runs an isolated simulator with its own seeded RNG and writes its
+ * result into a slot addressed by submission index, so output is
+ * byte-identical to the serial path regardless of worker count or
+ * completion order.
+ *
+ * Worker count resolution (first match wins):
+ *   1. explicit count passed to the constructor / runSweep()
+ *   2. the UNIMEM_JOBS environment variable
+ *   3. std::thread::hardware_concurrency()
+ *
+ * Nested sweeps (a job that itself calls runSweep, e.g. runFermiBest
+ * inside a fig10 job) execute serially on the calling worker instead of
+ * spawning a second pool, so worker counts never multiply.
+ */
+
+#ifndef UNIMEM_SIM_SWEEP_HH
+#define UNIMEM_SIM_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace unimem {
+
+/** One sweep point: a labeled simulation to run. */
+struct SweepJob
+{
+    /** Identifies the point in stats, errors, and reports. */
+    std::string label;
+
+    /** Registry benchmark to instantiate (ignored when `run` is set). */
+    std::string benchmark;
+
+    /** Workload scale (ignored when `run` is set). */
+    double scale = 0.5;
+
+    /** Configuration to simulate (ignored when `run` is set). */
+    RunSpec spec;
+
+    /**
+     * Optional custom thunk replacing the (benchmark, scale, spec)
+     * simulation - for composite points such as best-of-N selections.
+     * Must be safe to call from a worker thread.
+     */
+    std::function<SimResult()> run;
+};
+
+/** Convenience constructor for the common (label, RunSpec) job. */
+SweepJob makeSweepJob(std::string label, std::string benchmark,
+                      double scale, const RunSpec& spec);
+
+/** Observability record of one sweep execution. */
+struct SweepStats
+{
+    /** Workers the pool actually used. */
+    u32 workers = 0;
+
+    /** Jobs submitted. */
+    u64 jobCount = 0;
+
+    /** Wall time of the whole sweep (seconds). */
+    double wallSeconds = 0.0;
+
+    /** Per-job wall time (seconds), in submission order. */
+    std::vector<double> jobSeconds;
+
+    /** Per-job simulated cycles, in submission order (0 on failure). */
+    std::vector<u64> jobCycles;
+
+    /** Busy time per worker (seconds). */
+    std::vector<double> workerBusySeconds;
+
+    /** Sum of worker busy time / (workers * wall); 0 when empty. */
+    double utilization() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Thread-pool sweep runner. Construct once, run one or more job
+ * batches; stats() describes the most recent run() call.
+ */
+class SweepRunner
+{
+  public:
+    /** @param workers worker count; 0 resolves via resolveWorkerCount */
+    explicit SweepRunner(u32 workers = 0);
+
+    /** Worker count this runner will use. */
+    u32 workers() const { return workers_; }
+
+    /**
+     * Execute @p jobs and return their results in submission order.
+     * If any job throws, the first failing job (by submission order) has
+     * its exception rethrown after all workers drain; results of other
+     * jobs are discarded.
+     */
+    std::vector<SimResult> run(const std::vector<SweepJob>& jobs);
+
+    /** Stats of the most recent run(). */
+    const SweepStats& stats() const { return stats_; }
+
+    /**
+     * Resolve a worker count: @p requested if nonzero, else the
+     * UNIMEM_JOBS environment variable, else hardware_concurrency
+     * (minimum 1).
+     */
+    static u32 resolveWorkerCount(u32 requested = 0);
+
+    /** True while the calling thread is executing a sweep job. */
+    static bool inSweepWorker();
+
+  private:
+    u32 workers_;
+    SweepStats stats_;
+};
+
+/** One-shot helper: run @p jobs on a fresh SweepRunner. */
+std::vector<SimResult> runSweep(const std::vector<SweepJob>& jobs,
+                                u32 workers = 0,
+                                SweepStats* stats = nullptr);
+
+} // namespace unimem
+
+#endif // UNIMEM_SIM_SWEEP_HH

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "kernels/registry.hh"
 #include "sim/experiments.hh"
 
@@ -220,6 +222,138 @@ TEST(Properties, ActiveSetSizeFullDegeneratesToFlatScheduler)
     EXPECT_LE(b.sm.sched.deschedules, a.sm.sched.deschedules + 1);
 }
 
+
+// ---- Randomized Section 4.5 allocation properties -----------------------
+
+/** 16B unified bank word: every split boundary must respect it. */
+constexpr u64 kBankWordBytes = 16;
+
+KernelParams
+randomKernel(std::mt19937& rng)
+{
+    KernelParams kp;
+    kp.name = "random";
+    kp.ctaThreads =
+        kWarpWidth * std::uniform_int_distribution<u32>(1, 32)(rng);
+    kp.regsPerThread =
+        std::uniform_int_distribution<u32>(kMinRegsPerThread, 64)(rng);
+    // Scratchpad declarations are bank-word granular, up to 48KB/CTA.
+    kp.sharedBytesPerCta = static_cast<u32>(
+        kBankWordBytes *
+        std::uniform_int_distribution<u32>(0, 3072)(rng));
+    kp.gridCtas = std::uniform_int_distribution<u32>(1, 64)(rng);
+    return kp;
+}
+
+TEST(AllocationRandomProperties, UnifiedSplitInvariants)
+{
+    std::mt19937 rng(20120512); // fixed seed: reproducible failures
+    int feasible = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        KernelParams kp = randomKernel(rng);
+        u64 capacity =
+            kBankWordBytes *
+            std::uniform_int_distribution<u64>(1024, 40960)(rng);
+        AllocationDecision d = allocateUnified(kp, capacity);
+        if (!d.launch.feasible)
+            continue;
+        ++feasible;
+
+        // Every byte of the unified capacity is accounted for: the
+        // register/scratchpad claim plus the cache leftover.
+        EXPECT_EQ(d.partition.total(), capacity) << "trial " << trial;
+
+        // All three regions are 16B-bank-word aligned.
+        EXPECT_EQ(d.partition.rfBytes % kBankWordBytes, 0u)
+            << "trial " << trial;
+        EXPECT_EQ(d.partition.sharedBytes % kBankWordBytes, 0u)
+            << "trial " << trial;
+        EXPECT_EQ(d.partition.cacheBytes % kBankWordBytes, 0u)
+            << "trial " << trial;
+
+        // The scratchpad region covers every resident CTA's static
+        // declaration - never less than the kernel declares.
+        EXPECT_GE(d.partition.sharedBytes,
+                  static_cast<u64>(d.launch.ctas) * kp.sharedBytesPerCta)
+            << "trial " << trial;
+
+        // Register bytes match the launch exactly.
+        EXPECT_EQ(d.partition.rfBytes,
+                  static_cast<u64>(d.launch.threads) *
+                      d.launch.regsPerThread * kRegBytes)
+            << "trial " << trial;
+
+        // Occupancy limits hold.
+        EXPECT_LE(d.launch.threads, kMaxThreadsPerSm) << "trial " << trial;
+        EXPECT_EQ(d.launch.threads % kp.ctaThreads, 0u)
+            << "trial " << trial;
+        EXPECT_GE(d.launch.regsPerThread, kMinRegsPerThread)
+            << "trial " << trial;
+    }
+    // The generator must actually exercise the allocator.
+    EXPECT_GT(feasible, 1000);
+}
+
+TEST(AllocationRandomProperties, UnifiedNeverBeatenByDeclaredNeeds)
+{
+    // If a configuration is feasible, the per-CTA footprint must fit;
+    // if infeasible, even one CTA's scratchpad cannot fit (allocateUnified
+    // spills registers down before giving up).
+    std::mt19937 rng(777);
+    for (int trial = 0; trial < 2000; ++trial) {
+        KernelParams kp = randomKernel(rng);
+        u64 capacity =
+            kBankWordBytes *
+            std::uniform_int_distribution<u64>(256, 16384)(rng);
+        AllocationDecision d = allocateUnified(kp, capacity);
+        u64 minFootprint =
+            static_cast<u64>(kp.ctaThreads) * kMinRegsPerThread *
+                kRegBytes +
+            kp.sharedBytesPerCta;
+        if (d.launch.feasible) {
+            u64 ctaFootprint = static_cast<u64>(kp.ctaThreads) *
+                                   d.launch.regsPerThread * kRegBytes +
+                               kp.sharedBytesPerCta;
+            EXPECT_LE(ctaFootprint * d.launch.ctas, capacity)
+                << "trial " << trial;
+        } else {
+            EXPECT_GT(minFootprint, capacity) << "trial " << trial;
+        }
+    }
+}
+
+TEST(AllocationRandomProperties, ThreadLimitAndOverrideRespected)
+{
+    std::mt19937 rng(424242);
+    for (int trial = 0; trial < 1000; ++trial) {
+        KernelParams kp = randomKernel(rng);
+        u32 limit =
+            kWarpWidth * std::uniform_int_distribution<u32>(1, 32)(rng);
+        u32 regsOverride =
+            std::uniform_int_distribution<u32>(0, 48)(rng);
+        AllocationDecision d =
+            allocateUnified(kp, 384_KB, limit, regsOverride);
+        if (!d.launch.feasible)
+            continue;
+        EXPECT_LE(d.launch.threads, limit) << "trial " << trial;
+        EXPECT_EQ(d.partition.total(), u64{384_KB}) << "trial " << trial;
+        if (regsOverride >= kMinRegsPerThread) {
+            u64 oneCta = static_cast<u64>(kp.ctaThreads) * regsOverride *
+                             kRegBytes +
+                         kp.sharedBytesPerCta;
+            if (oneCta <= 384_KB) {
+                EXPECT_EQ(d.launch.regsPerThread, regsOverride)
+                    << "trial " << trial;
+            }
+        }
+        // Spills appear exactly when squeezed below the requirement.
+        if (d.launch.regsPerThread >= kp.regsPerThread)
+            EXPECT_DOUBLE_EQ(d.launch.spillMultiplier, 1.0)
+                << "trial " << trial;
+        else
+            EXPECT_GE(d.launch.spillMultiplier, 1.0) << "trial " << trial;
+    }
+}
 
 // ---- Broad benchmark x design invariants --------------------------------
 

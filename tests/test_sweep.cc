@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests of the parallel sweep engine: golden-baseline determinism
+ * (serial vs 1/2/8 workers over the full 26-kernel fig8-style sweep),
+ * a mixed-job stress test (ordering, exception propagation), the
+ * RunSpec seed-plumbing audit backing the pool's determinism
+ * guarantee, and a tolerance-checked golden snapshot of the fig8
+ * comparison table.
+ *
+ * Golden files live in tests/golden/; regenerate with
+ *   UNIMEM_UPDATE_GOLDEN=1 ./test_sweep --gtest_filter='GoldenStats.*'
+ * and commit the diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "kernels/registry.hh"
+#include "sim/experiments.hh"
+#include "sim/sweep.hh"
+
+namespace unimem {
+namespace {
+
+constexpr double kScale = 0.05;
+
+/** The fig8-style sweep: every registry kernel on baseline + unified. */
+std::vector<SweepJob>
+fig8Jobs(double scale)
+{
+    std::vector<SweepJob> jobs;
+    for (const BenchmarkInfo& info : allBenchmarks()) {
+        jobs.push_back(makeSweepJob(std::string(info.name) + "/baseline",
+                                    info.name, scale, RunSpec{}));
+        RunSpec uni;
+        uni.design = DesignKind::Unified;
+        uni.unifiedCapacity = 384_KB;
+        jobs.push_back(makeSweepJob(std::string(info.name) + "/unified",
+                                    info.name, scale, uni));
+    }
+    return jobs;
+}
+
+// ---- Golden baseline: parallel == serial, bit for bit -----------------
+
+TEST(SweepGoldenBaseline, ParallelMatchesSerialAt_1_2_8_Workers)
+{
+    std::vector<SweepJob> jobs = fig8Jobs(kScale);
+    ASSERT_EQ(jobs.size(), 2 * allBenchmarks().size());
+
+    // Serial reference computed without the engine.
+    std::vector<SimResult> reference;
+    for (const SweepJob& job : jobs)
+        reference.push_back(
+            simulateBenchmark(job.benchmark, job.scale, job.spec));
+
+    double serialWall = 0.0;
+    for (u32 workers : {1u, 2u, 8u}) {
+        SweepStats stats;
+        std::vector<SimResult> results =
+            runSweep(jobs, workers, &stats);
+        ASSERT_EQ(results.size(), reference.size()) << workers;
+        for (size_t i = 0; i < results.size(); ++i)
+            EXPECT_TRUE(identicalResults(results[i], reference[i]))
+                << jobs[i].label << " diverges with " << workers
+                << " workers";
+
+        EXPECT_EQ(stats.jobCount, jobs.size());
+        EXPECT_EQ(stats.workers, workers);
+        EXPECT_GT(stats.wallSeconds, 0.0);
+        EXPECT_GT(stats.utilization(), 0.0);
+        EXPECT_LE(stats.utilization(), 1.0 + 1e-9);
+        for (size_t i = 0; i < jobs.size(); ++i)
+            EXPECT_EQ(stats.jobCycles[i], reference[i].cycles())
+                << jobs[i].label;
+
+        if (workers == 1)
+            serialWall = stats.wallSeconds;
+        std::ostringstream os;
+        os << workers << " workers: " << stats.summary();
+        RecordProperty("sweep_" + std::to_string(workers), os.str());
+        std::cout << "[ sweep    ] " << os.str() << "\n";
+
+        // The acceptance criterion "8 workers beat serial" only holds
+        // on a multi-core host; on smaller machines just report.
+        if (workers == 8 && std::thread::hardware_concurrency() >= 8) {
+            EXPECT_LT(stats.wallSeconds, serialWall)
+                << "8-worker fig8 sweep should beat the serial wall "
+                   "time on this host";
+        }
+    }
+}
+
+// ---- Seed plumbing: the determinism precondition ----------------------
+
+TEST(SweepDeterminism, SameRunSpecSameSimResult)
+{
+    for (const char* name : {"vectoradd", "needle", "dgemm", "bfs"}) {
+        for (DesignKind design :
+             {DesignKind::Partitioned, DesignKind::Unified}) {
+            RunSpec spec;
+            spec.design = design;
+            SimResult a = simulateBenchmark(name, kScale, spec);
+            SimResult b = simulateBenchmark(name, kScale, spec);
+            EXPECT_TRUE(identicalResults(a, b))
+                << name << " on " << designName(design);
+        }
+    }
+}
+
+TEST(SweepDeterminism, DifferentSeedsAreIndependentRuns)
+{
+    // Seeds flow all the way to the trace generators: a and b must not
+    // share RNG state (identical twice, not coincidentally equal once).
+    RunSpec s1;
+    s1.seed = 1;
+    RunSpec s2;
+    s2.seed = 99;
+    SimResult a1 = simulateBenchmark("bfs", kScale, s1);
+    SimResult b1 = simulateBenchmark("bfs", kScale, s2);
+    SimResult a2 = simulateBenchmark("bfs", kScale, s1);
+    SimResult b2 = simulateBenchmark("bfs", kScale, s2);
+    EXPECT_TRUE(identicalResults(a1, a2));
+    EXPECT_TRUE(identicalResults(b1, b2));
+}
+
+TEST(SweepDeterminism, IdenticalResultsDetectsDivergence)
+{
+    SimResult a = simulateBenchmark("vectoradd", kScale, RunSpec{});
+    SimResult b = a;
+    EXPECT_TRUE(identicalResults(a, b));
+    b.sm.cycles += 1;
+    EXPECT_FALSE(identicalResults(a, b));
+}
+
+// ---- Stress: ordering, mixed jobs, exceptions, races ------------------
+
+/** Synthetic result encoding a job index (no simulation). */
+SimResult
+syntheticResult(u64 index)
+{
+    SimResult r;
+    r.sm.cycles = 1000 + index;
+    r.sm.warpInstrs = 3 * index + 1;
+    r.alloc.launch.feasible = true;
+    r.alloc.launch.threads = static_cast<u32>(index % 1024);
+    return r;
+}
+
+TEST(SweepStress, FiveHundredMixedJobsKeepSubmissionOrder)
+{
+    // Mix cheap synthetic jobs with real simulations so workers finish
+    // out of submission order; results must come back in order anyway.
+    const size_t kJobs = 500;
+    const char* simNames[] = {"vectoradd", "bfs", "nn", "lps"};
+    SimResult simReference[4];
+    for (int i = 0; i < 4; ++i) {
+        RunSpec spec;
+        spec.design = i % 2 == 0 ? DesignKind::Unified
+                                 : DesignKind::Partitioned;
+        simReference[i] = simulateBenchmark(simNames[i], 0.02, spec);
+    }
+
+    std::vector<SweepJob> jobs;
+    for (size_t i = 0; i < kJobs; ++i) {
+        SweepJob job;
+        job.label = "stress/" + std::to_string(i);
+        if (i % 7 == 3) {
+            int which = static_cast<int>(i / 7) % 4;
+            RunSpec spec;
+            spec.design = which % 2 == 0 ? DesignKind::Unified
+                                         : DesignKind::Partitioned;
+            job.benchmark = simNames[which];
+            job.scale = 0.02;
+            job.spec = spec;
+        } else {
+            job.run = [i] { return syntheticResult(i); };
+        }
+        jobs.push_back(std::move(job));
+    }
+
+    SweepStats stats;
+    std::vector<SimResult> results = runSweep(jobs, 8, &stats);
+    ASSERT_EQ(results.size(), kJobs);
+    EXPECT_EQ(stats.jobCount, kJobs);
+    for (size_t i = 0; i < kJobs; ++i) {
+        if (i % 7 == 3) {
+            int which = static_cast<int>(i / 7) % 4;
+            EXPECT_TRUE(
+                identicalResults(results[i], simReference[which]))
+                << jobs[i].label;
+        } else {
+            EXPECT_EQ(results[i].cycles(), 1000 + i) << jobs[i].label;
+            EXPECT_EQ(results[i].sm.warpInstrs, 3 * i + 1)
+                << jobs[i].label;
+        }
+    }
+}
+
+TEST(SweepStress, FirstExceptionInSubmissionOrderPropagates)
+{
+    std::vector<SweepJob> jobs;
+    for (size_t i = 0; i < 64; ++i) {
+        SweepJob job;
+        job.label = "throwing/" + std::to_string(i);
+        if (i == 17 || i == 41) {
+            job.run = [i]() -> SimResult {
+                throw std::runtime_error("boom " + std::to_string(i));
+            };
+        } else {
+            job.run = [i] { return syntheticResult(i); };
+        }
+        jobs.push_back(std::move(job));
+    }
+
+    try {
+        runSweep(jobs, 8);
+        FAIL() << "expected the sweep to rethrow";
+    } catch (const std::runtime_error& e) {
+        // Job 17 fails first in submission order even if a later
+        // worker hits job 41 earlier in wall time.
+        EXPECT_NE(std::string(e.what()).find("throwing/17"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("boom 17"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SweepStress, EmptyAndSingleJobBatches)
+{
+    EXPECT_TRUE(runSweep({}, 8).empty());
+
+    std::vector<SweepJob> one{
+        makeSweepJob("solo", "vectoradd", 0.02, RunSpec{})};
+    SweepStats stats;
+    std::vector<SimResult> results = runSweep(one, 8, &stats);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(stats.workers, 1u) << "single job should not spawn a pool";
+    EXPECT_TRUE(identicalResults(
+        results[0], simulateBenchmark("vectoradd", 0.02, RunSpec{})));
+}
+
+TEST(SweepStress, NestedSweepRunsSeriallyInsideWorker)
+{
+    EXPECT_FALSE(SweepRunner::inSweepWorker());
+    std::vector<SweepJob> outer;
+    for (int i = 0; i < 4; ++i) {
+        SweepJob job;
+        job.label = "outer/" + std::to_string(i);
+        job.run = [] {
+            EXPECT_TRUE(SweepRunner::inSweepWorker());
+            // runFermiBest sweeps internally; inside a worker it must
+            // degrade to serial execution instead of nesting pools.
+            return runFermiBest("srad", 0.02, 384_KB);
+        };
+        outer.push_back(std::move(job));
+    }
+    std::vector<SimResult> results = runSweep(outer, 4);
+    SimResult reference = runFermiBest("srad", 0.02, 384_KB);
+    for (const SimResult& r : results)
+        EXPECT_TRUE(identicalResults(r, reference));
+    EXPECT_FALSE(SweepRunner::inSweepWorker());
+}
+
+TEST(SweepStress, WorkerCountResolution)
+{
+    EXPECT_EQ(SweepRunner::resolveWorkerCount(3), 3u);
+    EXPECT_GE(SweepRunner::resolveWorkerCount(0), 1u);
+    SweepRunner r(5);
+    EXPECT_EQ(r.workers(), 5u);
+}
+
+// ---- Golden-stats snapshot of the fig8 comparison table ---------------
+
+constexpr double kGoldenScale = 0.1;
+constexpr double kGoldenTolerance = 0.01; // 1% relative drift budget
+
+std::string
+goldenPath()
+{
+    return std::string(UNIMEM_SOURCE_DIR) +
+           "/tests/golden/fig8_comparison.golden";
+}
+
+struct GoldenRow
+{
+    std::string name;
+    double speedup = 0.0;
+    double energy = 0.0;
+    double dram = 0.0;
+};
+
+std::vector<GoldenRow>
+computeFig8Rows()
+{
+    std::vector<SimResult> results =
+        runSweep(fig8Jobs(kGoldenScale), 0);
+    std::vector<GoldenRow> rows;
+    size_t i = 0;
+    for (const BenchmarkInfo& info : allBenchmarks()) {
+        const SimResult& base = results[2 * i];
+        const SimResult& uni = results[2 * i + 1];
+        ++i;
+        Comparison c = compare(uni, base);
+        rows.push_back({info.name, c.speedup, c.energyRatio, c.dramRatio});
+    }
+    return rows;
+}
+
+TEST(GoldenStats, Fig8ComparisonMatchesGoldenFile)
+{
+    std::vector<GoldenRow> rows = computeFig8Rows();
+
+    if (std::getenv("UNIMEM_UPDATE_GOLDEN")) {
+        std::ofstream os(goldenPath());
+        ASSERT_TRUE(os) << "cannot write " << goldenPath();
+        os << "# fig8 comparison golden (unified 384KB vs partitioned "
+              "baseline, scale "
+           << kGoldenScale << ")\n"
+           << "# columns: benchmark speedup energy_ratio dram_ratio\n"
+           << "# regenerate: UNIMEM_UPDATE_GOLDEN=1 ./test_sweep "
+              "--gtest_filter='GoldenStats.*'\n";
+        os.precision(17);
+        for (const GoldenRow& r : rows)
+            os << r.name << " " << r.speedup << " " << r.energy << " "
+               << r.dram << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    std::ifstream is(goldenPath());
+    ASSERT_TRUE(is) << "missing golden file " << goldenPath()
+                    << " - regenerate with UNIMEM_UPDATE_GOLDEN=1";
+
+    std::map<std::string, GoldenRow> golden;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        GoldenRow r;
+        ASSERT_TRUE(static_cast<bool>(ls >> r.name >> r.speedup >>
+                                      r.energy >> r.dram))
+            << "malformed golden line: " << line;
+        golden[r.name] = r;
+    }
+    ASSERT_EQ(golden.size(), rows.size())
+        << "golden file kernel set diverged - regenerate";
+
+    auto within = [](double got, double want) {
+        double denom = std::max(std::abs(want), 1e-12);
+        return std::abs(got - want) / denom <= kGoldenTolerance;
+    };
+    for (const GoldenRow& r : rows) {
+        ASSERT_TRUE(golden.count(r.name)) << r.name;
+        const GoldenRow& g = golden[r.name];
+        EXPECT_TRUE(within(r.speedup, g.speedup))
+            << r.name << " speedup drifted: got " << r.speedup
+            << ", golden " << g.speedup;
+        EXPECT_TRUE(within(r.energy, g.energy))
+            << r.name << " energy ratio drifted: got " << r.energy
+            << ", golden " << g.energy;
+        EXPECT_TRUE(within(r.dram, g.dram))
+            << r.name << " dram ratio drifted: got " << r.dram
+            << ", golden " << g.dram;
+    }
+}
+
+} // namespace
+} // namespace unimem

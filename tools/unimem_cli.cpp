@@ -15,6 +15,8 @@
  *   --design=partitioned|unified|fermi   (default partitioned)
  *   --capacity-kb=N     unified capacity   (default 384)
  *   --scale=F           workload scale     (default 0.5)
+ *   --jobs=N            sweep worker threads (default: UNIMEM_JOBS or
+ *                       all hardware threads; sweeps only)
  *   --threads=N         thread limit
  *   --regs=N            registers/thread override
  *   --write-back        write-back cache ablation
@@ -36,6 +38,7 @@
 #include "common/table.hh"
 #include "kernels/registry.hh"
 #include "sim/experiments.hh"
+#include "sim/sweep.hh"
 #include "sm/chip.hh"
 
 using namespace unimem;
@@ -169,19 +172,20 @@ cmdSweep(const CliArgs& args)
     std::string name = requireBenchmark(args);
     double scale = args.getDouble("scale", 0.5);
     std::string what = args.getString("what", "capacity");
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
 
+    // Collect the sweep points (infeasible ones keep a table row but
+    // are not submitted), then run them all through the pool.
     Table t({"point", "cycles", "dram sectors", "threads"});
+    std::vector<SweepJob> sweep;
+    std::vector<std::pair<std::string, bool>> points; // label, feasible
     auto add = [&](const std::string& label, const RunSpec& spec) {
         auto k = createBenchmark(name, scale);
-        AllocationDecision d = resolveAllocation(k->params(), spec);
-        if (!d.launch.feasible) {
-            t.addRow({label, "does not fit", "-", "-"});
-            return;
-        }
-        SimResult r = simulate(*k, spec);
-        t.addRow({label, std::to_string(r.cycles()),
-                  std::to_string(r.dramSectors()),
-                  std::to_string(r.alloc.launch.threads)});
+        bool feasible =
+            resolveAllocation(k->params(), spec).launch.feasible;
+        points.emplace_back(label, feasible);
+        if (feasible)
+            sweep.push_back(makeSweepJob(label, name, scale, spec));
     };
 
     if (what == "capacity") {
@@ -208,7 +212,22 @@ cmdSweep(const CliArgs& args)
         fatal("unknown sweep '%s' (capacity|cache|threads)",
               what.c_str());
     }
+
+    SweepStats stats;
+    std::vector<SimResult> results = runSweep(sweep, jobs, &stats);
+    size_t next = 0;
+    for (const auto& [label, feasible] : points) {
+        if (!feasible) {
+            t.addRow({label, "does not fit", "-", "-"});
+            continue;
+        }
+        const SimResult& r = results[next++];
+        t.addRow({label, std::to_string(r.cycles()),
+                  std::to_string(r.dramSectors()),
+                  std::to_string(r.alloc.launch.threads)});
+    }
     t.print(std::cout);
+    std::cout << "sweep: " << stats.summary() << "\n";
     return 0;
 }
 
