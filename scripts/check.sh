@@ -1,24 +1,37 @@
 #!/usr/bin/env bash
 # Repo verification gate:
 #   1. tier-1: configure, build, and run the full ctest suite
-#   2. concurrency: rebuild the sweep engine and its tests under
+#   2. lint: run the static kernel-model analyzer over all shipped
+#      kernels with warnings promoted to errors (tools/unimem_lint)
+#   3. concurrency: rebuild the sweep engine and its tests under
 #      ThreadSanitizer and run test_sweep to catch data races the
 #      functional suite cannot see
+#   4. memory: rebuild the analyzer and integration tests under
+#      AddressSanitizer+UBSan and run them with halt_on_error
+#   5. tidy (opt-in via --tidy): clang-tidy over src/ using the compile
+#      database; skipped with a notice when clang-tidy is absent
 #
-# Usage: scripts/check.sh [--tsan-only] [--tier1-only]
-# The TSan tree lives in build-tsan/ so it never pollutes the main
-# build; both trees are .gitignore'd.
+# Usage: scripts/check.sh [--tier1-only] [--tsan-only] [--asan-only]
+#                         [--lint-only] [--tidy]
+# Sanitizer trees live in build-tsan/ and build-asan/ so they never
+# pollute the main build; all build trees are .gitignore'd.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
 run_tier1=1
+run_lint=1
 run_tsan=1
+run_asan=1
+run_tidy=0
 for arg in "$@"; do
     case "$arg" in
-      --tsan-only) run_tier1=0 ;;
-      --tier1-only) run_tsan=0 ;;
+      --tier1-only) run_lint=0; run_tsan=0; run_asan=0 ;;
+      --lint-only)  run_tier1=0; run_tsan=0; run_asan=0 ;;
+      --tsan-only)  run_tier1=0; run_lint=0; run_asan=0 ;;
+      --asan-only)  run_tier1=0; run_lint=0; run_tsan=0 ;;
+      --tidy)       run_tidy=1 ;;
       *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -30,6 +43,15 @@ if [[ $run_tier1 -eq 1 ]]; then
     ctest --test-dir build --output-on-failure -j "$JOBS"
 fi
 
+if [[ $run_lint -eq 1 ]]; then
+    echo "=== lint: static kernel-model analysis (-Werror) ==="
+    if [[ ! -x build/tools/unimem_lint ]]; then
+        cmake -B build -S . >/dev/null
+        cmake --build build -j "$JOBS" --target unimem_lint
+    fi
+    ./build/tools/unimem_lint --Werror --jobs="$JOBS"
+fi
+
 if [[ $run_tsan -eq 1 ]]; then
     echo "=== ThreadSanitizer: sweep engine ==="
     cmake -B build-tsan -S . \
@@ -39,6 +61,34 @@ if [[ $run_tsan -eq 1 ]]; then
     cmake --build build-tsan -j "$JOBS" --target test_sweep
     # TSAN_OPTIONS halt_on_error makes any race a hard failure.
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sweep
+fi
+
+if [[ $run_asan -eq 1 ]]; then
+    echo "=== AddressSanitizer+UBSan: analyzer + integration ==="
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+    cmake --build build-asan -j "$JOBS" \
+        --target test_analysis --target test_integration \
+        --target unimem_lint
+    export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+    export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+    ./build-asan/tests/test_analysis
+    ./build-asan/tests/test_integration
+    ./build-asan/tools/unimem_lint --Werror --jobs="$JOBS"
+fi
+
+if [[ $run_tidy -eq 1 ]]; then
+    echo "=== clang-tidy: src/ via compile database ==="
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping tidy gate" >&2
+    else
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+        mapfile -t tidy_files < <(find src tools -name '*.cc' -o -name '*.cpp')
+        clang-tidy -p build --quiet --warnings-as-errors='*' \
+            "${tidy_files[@]}"
+    fi
 fi
 
 echo "=== check.sh: all gates passed ==="

@@ -1,0 +1,160 @@
+#include "analysis/diagnostic.hh"
+
+#include "common/log.hh"
+
+namespace unimem {
+
+const char*
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    panic("severityName: bad severity %d", static_cast<int>(s));
+}
+
+const char*
+diagName(DiagId id)
+{
+    switch (id) {
+      case DiagId::ReadBeforeWrite: return "read-before-write";
+      case DiagId::RegOutOfRange: return "reg-out-of-range";
+      case DiagId::SharedOutOfBounds: return "shared-out-of-bounds";
+      case DiagId::SharedUnallocated: return "shared-unallocated";
+      case DiagId::LocalOutsideAperture: return "local-outside-aperture";
+      case DiagId::GlobalInLocalAperture:
+        return "global-in-local-aperture";
+      case DiagId::ImpossibleLaneSpread: return "impossible-lane-spread";
+      case DiagId::MisalignedAddress: return "misaligned-address";
+      case DiagId::BadArity: return "bad-arity";
+      case DiagId::MissingDst: return "missing-dst";
+      case DiagId::UnexpectedDst: return "unexpected-dst";
+      case DiagId::InvalidSrcOperand: return "invalid-src-operand";
+      case DiagId::EmptyActiveMask: return "empty-active-mask";
+      case DiagId::BadAccessBytes: return "bad-access-bytes";
+      case DiagId::LowOrfCapture: return "low-orf-capture";
+    }
+    panic("diagName: bad diag id %d", static_cast<int>(id));
+}
+
+Severity
+diagDefaultSeverity(DiagId id)
+{
+    switch (id) {
+      // Advisory metrics: never gate the suite.
+      case DiagId::LowOrfCapture:
+        return Severity::Info;
+      // Suspicious but survivable: the coalescer/cache handle these;
+      // they usually indicate an address-generation sloppiness, not a
+      // model-corrupting bug.
+      case DiagId::MisalignedAddress:
+        return Severity::Warning;
+      default:
+        return Severity::Error;
+    }
+}
+
+std::string
+DiagLoc::str() const
+{
+    std::string s = kernel + ":cta" + std::to_string(ctaId) + ":w" +
+                    std::to_string(warpInCta);
+    if (instrIndex != kNoInstr)
+        s += ":i" + std::to_string(instrIndex);
+    return s;
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::string s = loc.str() + ": " + severityName(severity) + ": " +
+                    message + " [" + diagName(id) + "]";
+    if (occurrences > 1)
+        s += " (x" + std::to_string(occurrences) + ")";
+    return s;
+}
+
+void
+DiagnosticEngine::report(DiagId id, const DiagLoc& loc, std::string message)
+{
+    std::string key = std::to_string(static_cast<u32>(id)) + "|" +
+                      loc.kernel + "|" + std::to_string(loc.ctaId) + "|" +
+                      std::to_string(loc.warpInCta) + "|" + message;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        ++diags_[it->second].occurrences;
+        return;
+    }
+    if (sitesPerId_[static_cast<u32>(id)] >= opt_.maxSitesPerId) {
+        ++suppressed_;
+        return;
+    }
+    ++sitesPerId_[static_cast<u32>(id)];
+
+    Diagnostic d;
+    d.id = id;
+    d.severity = diagDefaultSeverity(id);
+    if (opt_.werror && d.severity == Severity::Warning)
+        d.severity = Severity::Error;
+    d.loc = loc;
+    d.message = std::move(message);
+    index_.emplace(std::move(key), diags_.size());
+    diags_.push_back(std::move(d));
+}
+
+u64
+DiagnosticEngine::count(Severity s) const
+{
+    u64 n = 0;
+    for (const Diagnostic& d : diags_)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+u64
+DiagnosticEngine::countOf(DiagId id) const
+{
+    u64 n = 0;
+    for (const Diagnostic& d : diags_)
+        if (d.id == id)
+            ++n;
+    return n;
+}
+
+void
+DiagnosticEngine::merge(const DiagnosticEngine& other)
+{
+    for (const Diagnostic& d : other.diags_) {
+        // Re-report to share the dedup map, then restore the original
+        // occurrence count on a fresh insertion.
+        size_t before = diags_.size();
+        report(d.id, d.loc, d.message);
+        if (diags_.size() > before)
+            diags_.back().occurrences = d.occurrences;
+        else {
+            std::string key =
+                std::to_string(static_cast<u32>(d.id)) + "|" +
+                d.loc.kernel + "|" + std::to_string(d.loc.ctaId) + "|" +
+                std::to_string(d.loc.warpInCta) + "|" + d.message;
+            auto it = index_.find(key);
+            if (it != index_.end())
+                diags_[it->second].occurrences += d.occurrences - 1;
+        }
+    }
+    suppressed_ += other.suppressed_;
+}
+
+void
+DiagnosticEngine::print(std::ostream& os) const
+{
+    for (const Diagnostic& d : diags_)
+        os << d.str() << "\n";
+    if (suppressed_ > 0)
+        os << "(" << suppressed_
+           << " further sites suppressed by the per-check cap)\n";
+}
+
+} // namespace unimem

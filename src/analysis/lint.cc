@@ -1,0 +1,384 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "analysis/liveness.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+
+namespace unimem {
+
+namespace {
+
+/** Per-instruction invariant checker for one warp. */
+class WarpChecker
+{
+  public:
+    WarpChecker(const KernelParams& kp, const WarpCtx& ctx,
+                const LintOptions& opt, DiagnosticEngine& diags,
+                LintMetrics& metrics)
+        : kp_(kp), opt_(opt), diags_(diags), metrics_(metrics),
+          liveness_(kp.regsPerThread, kp.liveInRegCount(), opt.orfEntries),
+          written_(kp.regsPerThread, false),
+          ctaSharedBase_(static_cast<Addr>(ctx.ctaId) *
+                         kp.sharedBytesPerCta)
+    {
+        loc_.kernel = kp.name;
+        loc_.ctaId = ctx.ctaId;
+        loc_.warpInCta = ctx.warpInCta;
+    }
+
+    void
+    check(const WarpInstr& in)
+    {
+        loc_.instrIndex = index_;
+        checkShape(in);
+        checkRegisters(in);
+        if (isMemOp(in.op))
+            checkMemory(in);
+        liveness_.step(in);
+        ++metrics_.instrs;
+        ++index_;
+    }
+
+    void
+    finish()
+    {
+        LivenessSummary s = liveness_.finish();
+        metrics_.regPressure = std::max(metrics_.regPressure, s.maxLive);
+        metrics_.regReads += s.regReads;
+        metrics_.orfCaptured += s.orfCaptured;
+    }
+
+  private:
+    void
+    checkShape(const WarpInstr& in)
+    {
+        const OpcodeShape& shape = opcodeShape(in.op);
+        if (in.numSrc > 3 || in.numSrc < shape.minSrc ||
+            in.numSrc > shape.maxSrc) {
+            diags_.report(DiagId::BadArity, loc_,
+                          strprintf("%s carries %u source operands "
+                                    "(expects %u..%u)",
+                                    opcodeName(in.op), in.numSrc,
+                                    shape.minSrc, shape.maxSrc));
+        } else {
+            for (u8 s = 0; s < in.numSrc; ++s)
+                if (in.src[s] == kInvalidReg)
+                    diags_.report(
+                        DiagId::InvalidSrcOperand, loc_,
+                        strprintf("%s source %u is kInvalidReg inside "
+                                  "the declared arity",
+                                  opcodeName(in.op), s));
+        }
+        if (shape.hasDst && !in.hasDst())
+            diags_.report(DiagId::MissingDst, loc_,
+                          strprintf("%s produces a value but has no "
+                                    "destination register",
+                                    opcodeName(in.op)));
+        if (!shape.hasDst && in.hasDst())
+            diags_.report(DiagId::UnexpectedDst, loc_,
+                          strprintf("%s carries destination r%u but "
+                                    "produces no value",
+                                    opcodeName(in.op), in.dst));
+        if (isMemOp(in.op)) {
+            if (in.activeMask == 0)
+                diags_.report(DiagId::EmptyActiveMask, loc_,
+                              strprintf("%s with no active lanes",
+                                        opcodeName(in.op)));
+            if (in.accessBytes != 4 && in.accessBytes != 8)
+                diags_.report(DiagId::BadAccessBytes, loc_,
+                              strprintf("%s accesses %u bytes per lane "
+                                        "(must be 4 or 8)",
+                                        opcodeName(in.op),
+                                        in.accessBytes));
+        }
+    }
+
+    void
+    checkRegisters(const WarpInstr& in)
+    {
+        for (u8 s = 0; s < in.numSrc && s < 3; ++s) {
+            RegId r = in.src[s];
+            if (r == kInvalidReg)
+                continue;
+            if (r >= kp_.regsPerThread) {
+                diags_.report(
+                    DiagId::RegOutOfRange, loc_,
+                    strprintf("source r%u exceeds the declared footprint "
+                              "of %u registers/thread",
+                              r, kp_.regsPerThread));
+            } else if (!written_[r] && r >= kp_.liveInRegCount()) {
+                diags_.report(
+                    DiagId::ReadBeforeWrite, loc_,
+                    strprintf("r%u read before any write (live-in set is "
+                              "[0, %u))",
+                              r, kp_.liveInRegCount()));
+            }
+        }
+        if (in.hasDst()) {
+            if (in.dst >= kp_.regsPerThread)
+                diags_.report(
+                    DiagId::RegOutOfRange, loc_,
+                    strprintf("destination r%u exceeds the declared "
+                              "footprint of %u registers/thread",
+                              in.dst, kp_.regsPerThread));
+            else
+                written_[in.dst] = true;
+        }
+    }
+
+    void
+    checkMemory(const WarpInstr& in)
+    {
+        ++metrics_.memOps;
+        if (isSharedSpace(in.op))
+            checkShared(in);
+        else if (in.op == Opcode::LdLocal || in.op == Opcode::StLocal)
+            checkLocal(in);
+        else
+            checkGlobal(in);
+        checkAlignment(in);
+    }
+
+    void
+    checkShared(const WarpInstr& in)
+    {
+        ++metrics_.sharedOps;
+        if (kp_.sharedBytesPerCta == 0) {
+            diags_.report(DiagId::SharedUnallocated, loc_,
+                          strprintf("%s but the kernel declares no "
+                                    "scratchpad",
+                                    opcodeName(in.op)));
+            return;
+        }
+        for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+            if (!in.laneActive(lane))
+                continue;
+            Addr a = in.addr[lane];
+            if (a < ctaSharedBase_ ||
+                a + in.accessBytes >
+                    ctaSharedBase_ + kp_.sharedBytesPerCta) {
+                diags_.report(
+                    DiagId::SharedOutOfBounds, loc_,
+                    strprintf("lane %u offset %lld outside the CTA's "
+                              "%u-byte scratchpad slab",
+                              lane,
+                              static_cast<long long>(
+                                  static_cast<i64>(a - ctaSharedBase_)),
+                              kp_.sharedBytesPerCta));
+                break; // one finding per instruction
+            }
+        }
+        recordSharedConflicts(in);
+    }
+
+    void
+    recordSharedConflicts(const WarpInstr& in)
+    {
+        // Statically provable conflict degree under the partitioned
+        // mapping: distinct 4-byte words, bank = word % kBanksPerSm;
+        // degree = max accesses to one bank (mem/bank_conflicts.hh uses
+        // the same counting dynamically).
+        std::set<Addr> words;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane)
+            if (in.laneActive(lane))
+                for (u32 b = 0; b < in.accessBytes; b += 4)
+                    words.insert((in.addr[lane] + b) / 4);
+        std::array<u32, kBanksPerSm> perBank{};
+        u32 degree = 0;
+        for (Addr w : words) {
+            u32 bank = static_cast<u32>(w % kBanksPerSm);
+            degree = std::max(degree, ++perBank[bank]);
+        }
+        if (degree <= 1)
+            ++metrics_.sharedConflictFree;
+        metrics_.sharedDegreeSum += degree;
+        metrics_.sharedDegreeMax =
+            std::max(metrics_.sharedDegreeMax, degree);
+    }
+
+    void
+    checkLocal(const WarpInstr& in)
+    {
+        for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+            if (!in.laneActive(lane))
+                continue;
+            if (in.addr[lane] < kLocalBase) {
+                diags_.report(
+                    DiagId::LocalOutsideAperture, loc_,
+                    strprintf("lane %u address 0x%llx below the "
+                              "thread-local aperture",
+                              lane,
+                              static_cast<unsigned long long>(
+                                  in.addr[lane])));
+                break;
+            }
+        }
+    }
+
+    void
+    checkGlobal(const WarpInstr& in)
+    {
+        Addr lo = ~Addr(0);
+        Addr hi = 0;
+        bool any = false;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+            if (!in.laneActive(lane))
+                continue;
+            Addr a = in.addr[lane];
+            if (a >= kLocalBase) {
+                diags_.report(
+                    DiagId::GlobalInLocalAperture, loc_,
+                    strprintf("lane %u address 0x%llx inside the "
+                              "thread-local aperture",
+                              lane, static_cast<unsigned long long>(a)));
+                return;
+            }
+            lo = std::min(lo, a);
+            hi = std::max(hi, a);
+            any = true;
+        }
+        if (any && hi - lo > opt_.laneSpreadLimit)
+            diags_.report(
+                DiagId::ImpossibleLaneSpread, loc_,
+                strprintf("lane addresses span 0x%llx bytes in one warp "
+                          "access (limit 0x%llx)",
+                          static_cast<unsigned long long>(hi - lo),
+                          static_cast<unsigned long long>(
+                              opt_.laneSpreadLimit)));
+    }
+
+    void
+    checkAlignment(const WarpInstr& in)
+    {
+        if (in.accessBytes != 4 && in.accessBytes != 8)
+            return; // already an error
+        for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+            if (!in.laneActive(lane))
+                continue;
+            if (in.addr[lane] % in.accessBytes != 0) {
+                diags_.report(
+                    DiagId::MisalignedAddress, loc_,
+                    strprintf("lane %u address 0x%llx not %u-byte "
+                              "aligned",
+                              lane,
+                              static_cast<unsigned long long>(
+                                  in.addr[lane]),
+                              in.accessBytes));
+                break;
+            }
+        }
+    }
+
+    const KernelParams& kp_;
+    const LintOptions& opt_;
+    DiagnosticEngine& diags_;
+    LintMetrics& metrics_;
+    TraceLiveness liveness_;
+    std::vector<bool> written_;
+    Addr ctaSharedBase_;
+    DiagLoc loc_;
+    u64 index_ = 0;
+};
+
+} // namespace
+
+void
+LintMetrics::merge(const LintMetrics& o)
+{
+    instrs += o.instrs;
+    memOps += o.memOps;
+    sharedOps += o.sharedOps;
+    regPressure = std::max(regPressure, o.regPressure);
+    regReads += o.regReads;
+    orfCaptured += o.orfCaptured;
+    sharedConflictFree += o.sharedConflictFree;
+    sharedDegreeSum += o.sharedDegreeSum;
+    sharedDegreeMax = std::max(sharedDegreeMax, o.sharedDegreeMax);
+}
+
+std::vector<WarpCtx>
+lintWarpSamples(const KernelParams& kp, const LintOptions& opt)
+{
+    std::vector<u32> ctas = {0, kp.gridCtas / 2, kp.gridCtas - 1};
+    std::vector<u32> warps = {0, kp.warpsPerCta() - 1};
+    std::sort(ctas.begin(), ctas.end());
+    ctas.erase(std::unique(ctas.begin(), ctas.end()), ctas.end());
+    std::sort(warps.begin(), warps.end());
+    warps.erase(std::unique(warps.begin(), warps.end()), warps.end());
+
+    std::vector<WarpCtx> out;
+    for (u64 seed : opt.seeds)
+        for (u32 cta : ctas)
+            for (u32 warp : warps) {
+                WarpCtx ctx;
+                ctx.ctaId = cta;
+                ctx.warpInCta = warp;
+                ctx.warpsPerCta = kp.warpsPerCta();
+                ctx.threadsPerCta = kp.ctaThreads;
+                ctx.seed = seed;
+                out.push_back(ctx);
+            }
+    return out;
+}
+
+void
+lintWarp(const KernelModel& kernel, const WarpCtx& ctx,
+         const LintOptions& opt, DiagnosticEngine& diags,
+         LintMetrics& metrics)
+{
+    WarpChecker checker(kernel.params(), ctx, opt, diags, metrics);
+    InstrStream stream(kernel.warpProgram(ctx));
+    for (u32 i = 0; i < opt.maxInstrsPerWarp; ++i) {
+        const WarpInstr* in = stream.peek();
+        if (in == nullptr)
+            break;
+        checker.check(*in);
+        stream.pop();
+    }
+    checker.finish();
+}
+
+LintReport
+lintKernel(const KernelModel& kernel, const LintOptions& opt)
+{
+    const KernelParams& kp = kernel.params();
+    LintReport report;
+    report.kernel = kp.name;
+    report.diags = DiagnosticEngine(opt.diagOptions());
+
+    for (const WarpCtx& ctx : lintWarpSamples(kp, opt))
+        lintWarp(kernel, ctx, opt, report.diags, report.metrics);
+
+    if (report.metrics.regReads > 0 &&
+        report.metrics.orfReachableFraction() < opt.orfAdvisoryFloor) {
+        DiagLoc loc;
+        loc.kernel = kp.name;
+        report.diags.report(
+            DiagId::LowOrfCapture, loc,
+            strprintf("ORF-reachable read fraction %.2f is below the "
+                      "Section 2.1 band (floor %.2f)",
+                      report.metrics.orfReachableFraction(),
+                      opt.orfAdvisoryFloor));
+    }
+    return report;
+}
+
+std::string
+LintReport::str() const
+{
+    std::ostringstream os;
+    os << kernel << ": " << metrics.instrs << " instrs, " << errors()
+       << " errors, " << warnings() << " warnings, " << infos()
+       << " infos; pressure " << metrics.regPressure << ", orf "
+       << Table::num(metrics.orfReachableFraction(), 3) << ", shared-degree "
+       << Table::num(metrics.avgSharedConflictDegree(), 2) << " avg / "
+       << metrics.sharedDegreeMax << " max\n";
+    diags.print(os);
+    return os.str();
+}
+
+} // namespace unimem

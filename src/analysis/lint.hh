@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Static analyzer for kernel models ("unimem-lint").
+ *
+ * The simulator trusts every KernelModel twice: the Section 4.5
+ * allocator sizes the MRF slice and scratchpad from the *declared*
+ * KernelParams, and the LRF/ORF hierarchy assumes compiler-known
+ * register lifetimes (Section 2.1). lintKernel() machine-checks that
+ * trust: it replays a bounded prefix of several warps' traces — first,
+ * middle, and last CTA, first and last warp, multiple seeds — through a
+ * def-use/liveness pass and a set of invariant checks, each reported as
+ * a named diagnostic (analysis/diagnostic.hh). It also derives the
+ * static metrics the docs quote: register pressure, ORF-reachable read
+ * fraction, and statically provable shared-bank conflict degree.
+ *
+ * The pass is purely static: no SM, cache, or DRAM model runs, so
+ * linting all 26 shipped kernels takes milliseconds and is wired into
+ * ctest and scripts/check.sh as a hard gate (tools/unimem_lint).
+ */
+
+#ifndef UNIMEM_ANALYSIS_LINT_HH
+#define UNIMEM_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "arch/kernel_model.hh"
+
+namespace unimem {
+
+/** Tunables of one lint pass. */
+struct LintOptions
+{
+    /** Trace-prefix bound per sampled warp. */
+    u32 maxInstrsPerWarp = 4096;
+
+    /** ORF entries behind the LRF for the capture metric (paper: 4). */
+    u32 orfEntries = 4;
+
+    /** Treat warnings as errors (-Werror). */
+    bool werror = false;
+
+    /**
+     * Widest address spread one warp-instruction may legally cover in
+     * the global/texture space. One access targets one data structure;
+     * a larger spread means a broken per-lane address computation
+     * (signed underflow, unscaled index).
+     */
+    Addr laneSpreadLimit = Addr(1) << 30;
+
+    /** ORF-reachable fraction below this raises low-orf-capture (info). */
+    double orfAdvisoryFloor = 0.5;
+
+    /** Launch seeds to sample (distinct WarpCtx shapes per seed). */
+    std::vector<u64> seeds = {1, 2};
+
+    DiagnosticOptions
+    diagOptions() const
+    {
+        DiagnosticOptions o;
+        o.werror = werror;
+        return o;
+    }
+};
+
+/** Static metrics aggregated over all sampled warps of one kernel. */
+struct LintMetrics
+{
+    u64 instrs = 0;
+    u64 memOps = 0;
+    u64 sharedOps = 0;
+
+    /** Max simultaneously live values over any sampled warp. */
+    u32 regPressure = 0;
+
+    /** Register source reads / LRF+ORF-window hits (Section 2.1). */
+    u64 regReads = 0;
+    u64 orfCaptured = 0;
+
+    /** Shared ops by statically provable max-accesses-per-bank. */
+    u64 sharedConflictFree = 0; ///< degree <= 1
+    u64 sharedDegreeSum = 0;    ///< sum of per-op degrees
+    u32 sharedDegreeMax = 0;
+
+    double
+    orfReachableFraction() const
+    {
+        return regReads == 0 ? 0.0
+                             : static_cast<double>(orfCaptured) /
+                                   static_cast<double>(regReads);
+    }
+
+    double
+    avgSharedConflictDegree() const
+    {
+        return sharedOps == 0 ? 0.0
+                              : static_cast<double>(sharedDegreeSum) /
+                                    static_cast<double>(sharedOps);
+    }
+
+    void merge(const LintMetrics& o);
+};
+
+/** Everything one lintKernel() call produces. */
+struct LintReport
+{
+    std::string kernel;
+    LintMetrics metrics;
+    DiagnosticEngine diags;
+
+    u64 errors() const { return diags.count(Severity::Error); }
+    u64 warnings() const { return diags.count(Severity::Warning); }
+    u64 infos() const { return diags.count(Severity::Info); }
+    bool clean() const { return !diags.hasErrors(); }
+
+    /** Deterministic multi-line rendering (metrics + findings). */
+    std::string str() const;
+};
+
+/**
+ * The WarpCtx sample set lintKernel() analyzes: the cross product of
+ * {first, middle, last} CTA, {first, last} warp-in-CTA, and opt.seeds,
+ * deduplicated. Exposed so tests can pin the sampling policy.
+ */
+std::vector<WarpCtx> lintWarpSamples(const KernelParams& kp,
+                                     const LintOptions& opt);
+
+/**
+ * Analyze one warp's trace prefix, appending findings to @p diags and
+ * accumulating @p metrics. Building block of lintKernel(), exposed for
+ * targeted tests.
+ */
+void lintWarp(const KernelModel& kernel, const WarpCtx& ctx,
+              const LintOptions& opt, DiagnosticEngine& diags,
+              LintMetrics& metrics);
+
+/** Lint every sampled warp of @p kernel. */
+LintReport lintKernel(const KernelModel& kernel,
+                      const LintOptions& opt = {});
+
+} // namespace unimem
+
+#endif // UNIMEM_ANALYSIS_LINT_HH

@@ -1,0 +1,95 @@
+#include "analysis/liveness.hh"
+
+#include <algorithm>
+
+namespace unimem {
+
+TraceLiveness::TraceLiveness(u32 numRegs, u32 liveInRegs, u32 orfEntries)
+    : regs_(numRegs), orfCapacity_(orfEntries)
+{
+    // Live-in values are defined "before" the trace; give them an open
+    // interval starting at position 0 so an unused live-in costs nothing
+    // (its interval collapses) while a used one is live from entry.
+    u32 n = std::min(liveInRegs, numRegs);
+    for (u32 r = 0; r < n; ++r) {
+        regs_[r].defPos = 0;
+        regs_[r].lastUse = 0;
+    }
+    recency_.reserve(orfCapacity_ + 1);
+}
+
+void
+TraceLiveness::use(RegId r)
+{
+    if (r >= regs_.size())
+        return;
+    ++summary_.regReads;
+    auto it = std::find(recency_.begin(), recency_.end(), r);
+    if (it != recency_.end())
+        ++summary_.orfCaptured;
+    if (regs_[r].defPos != RegState::kNoDef)
+        regs_[r].lastUse = pos_;
+}
+
+void
+TraceLiveness::closeInterval(const RegState& st)
+{
+    if (st.defPos == RegState::kNoDef || st.lastUse <= st.defPos)
+        return; // never live beyond its def point
+    events_.emplace_back(st.defPos, 1);
+    events_.emplace_back(st.lastUse, -1);
+}
+
+void
+TraceLiveness::def(RegId r)
+{
+    if (r >= regs_.size())
+        return;
+    closeInterval(regs_[r]);
+    regs_[r].defPos = pos_;
+    regs_[r].lastUse = pos_;
+
+    auto it = std::find(recency_.begin(), recency_.end(), r);
+    if (it != recency_.end())
+        recency_.erase(it);
+    recency_.insert(recency_.begin(), r);
+    if (recency_.size() > orfCapacity_ + 1)
+        recency_.pop_back();
+}
+
+void
+TraceLiveness::step(const WarpInstr& in)
+{
+    for (u8 s = 0; s < in.numSrc && s < 3; ++s)
+        if (in.src[s] != kInvalidReg)
+            use(in.src[s]);
+    if (in.hasDst())
+        def(in.dst);
+    ++pos_;
+}
+
+LivenessSummary
+TraceLiveness::finish()
+{
+    for (const RegState& st : regs_)
+        closeInterval(st);
+
+    // Sweep: sort events by position, ends before starts at a tie so an
+    // interval ending where another begins does not overlap it.
+    std::sort(events_.begin(), events_.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second;
+              });
+    i64 live = 0;
+    i64 peak = 0;
+    for (const auto& [p, delta] : events_) {
+        live += delta;
+        peak = std::max(peak, live);
+    }
+    summary_.maxLive = static_cast<u32>(peak);
+    return summary_;
+}
+
+} // namespace unimem

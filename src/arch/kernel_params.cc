@@ -57,6 +57,12 @@ KernelParams::warpsPerCta() const
     return (ctaThreads + kWarpWidth - 1) / kWarpWidth;
 }
 
+u32
+KernelParams::liveInRegCount() const
+{
+    return std::min(liveInRegs, regsPerThread);
+}
+
 void
 KernelParams::validate() const
 {

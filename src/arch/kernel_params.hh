@@ -66,6 +66,21 @@ struct KernelParams
 
     SpillCurve spillCurve;
 
+    /**
+     * Registers [0, liveInRegs) hold live-in values at kernel entry
+     * (arguments, thread indices, launch constants): reading one of them
+     * before any write is legal. kLiveInAll declares the whole footprint
+     * live-in — the right default for the synthetic steady-state models,
+     * whose traces begin mid-kernel with every register carrying state.
+     * Hand-built traces (tests, replays) declare a tight set so the
+     * linter's read-before-write check has teeth.
+     */
+    static constexpr u32 kLiveInAll = 0xffffffffu;
+    u32 liveInRegs = kLiveInAll;
+
+    /** Declared live-in register count, clamped to the footprint. */
+    u32 liveInRegCount() const;
+
     double
     sharedBytesPerThread() const
     {

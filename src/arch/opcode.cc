@@ -74,4 +74,33 @@ isLongLatency(Opcode op)
            op == Opcode::Tex;
 }
 
+const OpcodeShape&
+opcodeShape(Opcode op)
+{
+    static const OpcodeShape alu{0, 3, true};
+    static const OpcodeShape sfu{1, 1, true};
+    static const OpcodeShape load{0, 1, true};
+    static const OpcodeShape store{1, 2, false};
+    static const OpcodeShape bar{0, 0, false};
+    switch (op) {
+      case Opcode::IntAlu:
+      case Opcode::FpAlu:
+        return alu;
+      case Opcode::Sfu:
+        return sfu;
+      case Opcode::LdGlobal:
+      case Opcode::LdShared:
+      case Opcode::LdLocal:
+      case Opcode::Tex:
+        return load;
+      case Opcode::StGlobal:
+      case Opcode::StShared:
+      case Opcode::StLocal:
+        return store;
+      case Opcode::Bar:
+        return bar;
+    }
+    panic("opcodeShape: bad opcode %d", static_cast<int>(op));
+}
+
 } // namespace unimem

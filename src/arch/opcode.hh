@@ -51,6 +51,30 @@ bool isSharedSpace(Opcode op);
  */
 bool isLongLatency(Opcode op);
 
+/**
+ * Static operand-shape constraints of one opcode, used by the trace
+ * linter (analysis/lint.hh) to reject malformed instructions before they
+ * reach the timing model.
+ */
+struct OpcodeShape
+{
+    /** Fewest register source operands a well-formed instance carries. */
+    u8 minSrc;
+
+    /** Most register source operands a well-formed instance carries. */
+    u8 maxSrc;
+
+    /** True when the opcode produces a register result. */
+    bool hasDst;
+};
+
+/**
+ * Operand-arity metadata for @p op. Loads may carry zero sources
+ * (frame-pointer-relative spill fills); stores carry an address register
+ * and optionally a data register; barriers carry nothing.
+ */
+const OpcodeShape& opcodeShape(Opcode op);
+
 } // namespace unimem
 
 #endif // UNIMEM_ARCH_OPCODE_HH

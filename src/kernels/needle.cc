@@ -26,10 +26,17 @@ namespace unimem {
 
 namespace {
 
-constexpr Addr kMatrixBase = 0;
-constexpr Addr kRefBase = 1ull << 32;
 constexpr u32 kMatrixDim = 2048;
 constexpr u32 kRowBytes = kMatrixDim * 4;
+
+// The DP matrix is padded with a boundary row/column (the real kernel
+// scores against row -1 / column -1), so cell (0, 0) sits one row into
+// the allocation. Padding by a whole row keeps every address 128-byte
+// line-aligned exactly as before while the edge tiles' border reads
+// (cellAddr - kRowBytes, cellAddr - 4) stay inside the buffer instead
+// of underflowing (caught by unimem-lint's global-in-local-aperture).
+constexpr Addr kMatrixBase = kRowBytes;
+constexpr Addr kRefBase = 1ull << 32;
 
 class NeedleProgram : public StepProgram
 {

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * unimem-lint: static analyzer over the shipped kernel models.
+ *
+ * Runs lintKernel() (analysis/lint.hh) over every registry benchmark —
+ * or a --kernel subset — in parallel on the sweep engine, prints a
+ * per-kernel metrics table plus every diagnostic, and exits nonzero
+ * when any kernel has lint errors. This is the gate scripts/check.sh
+ * and CI run so a kernel-model edit that violates its declared
+ * KernelParams fails the build instead of silently corrupting figures.
+ *
+ * Flags:
+ *   --kernel=a,b,c   lint only these benchmarks (default: all 26)
+ *   --scale=F        workload scale (default 0.5, same as unimem_cli)
+ *   --jobs=N         sweep workers (default: UNIMEM_JOBS or all cores)
+ *   --Werror         treat warnings as errors
+ *   --max-instrs=N   trace-prefix bound per sampled warp (default 4096)
+ *   --json           machine-readable report on stdout instead of the
+ *                    table (diagnostics included)
+ *   --quiet          suppress per-diagnostic lines (summary table only)
+ *
+ * Exit status: 0 clean, 1 lint errors, 2 usage error.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "analysis/lint.hh"
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "kernels/registry.hh"
+#include "sim/sweep.hh"
+
+using namespace unimem;
+
+namespace {
+
+std::vector<std::string>
+selectKernels(const CliArgs& args)
+{
+    std::vector<std::string> names;
+    if (args.has("kernel")) {
+        std::stringstream ss(args.getString("kernel", ""));
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty()) {
+                if (findBenchmark(item) == nullptr)
+                    fatal("unknown benchmark '%s' (try 'unimem_cli "
+                          "list')",
+                          item.c_str());
+                names.push_back(item);
+            }
+        if (names.empty())
+            fatal("--kernel given but no benchmark names parsed");
+    } else {
+        for (const BenchmarkInfo& info : allBenchmarks())
+            names.push_back(info.name);
+    }
+    return names;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+printJson(std::ostream& os, const std::vector<LintReport>& reports)
+{
+    os << "{\"kernels\":[";
+    for (size_t i = 0; i < reports.size(); ++i) {
+        const LintReport& r = reports[i];
+        const LintMetrics& m = r.metrics;
+        os << (i ? "," : "") << "{\"name\":\"" << jsonEscape(r.kernel)
+           << "\",\"errors\":" << r.errors()
+           << ",\"warnings\":" << r.warnings()
+           << ",\"infos\":" << r.infos() << ",\"metrics\":{"
+           << "\"instrs\":" << m.instrs << ",\"memOps\":" << m.memOps
+           << ",\"sharedOps\":" << m.sharedOps
+           << ",\"regPressure\":" << m.regPressure
+           << ",\"orfReachableFraction\":"
+           << Table::num(m.orfReachableFraction(), 4)
+           << ",\"avgSharedConflictDegree\":"
+           << Table::num(m.avgSharedConflictDegree(), 4)
+           << ",\"maxSharedConflictDegree\":" << m.sharedDegreeMax
+           << "},\"diagnostics\":[";
+        const auto& ds = r.diags.diagnostics();
+        for (size_t j = 0; j < ds.size(); ++j) {
+            const Diagnostic& d = ds[j];
+            os << (j ? "," : "") << "{\"id\":\"" << diagName(d.id)
+               << "\",\"severity\":\"" << severityName(d.severity)
+               << "\",\"location\":\"" << jsonEscape(d.loc.str())
+               << "\",\"message\":\"" << jsonEscape(d.message)
+               << "\",\"occurrences\":" << d.occurrences << "}";
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    if (!args.positional().empty()) {
+        std::cerr << "usage: unimem_lint [--kernel=a,b] [--scale=F] "
+                     "[--jobs=N] [--Werror] [--max-instrs=N] [--json] "
+                     "[--quiet]\n";
+        return 2;
+    }
+
+    std::vector<std::string> names = selectKernels(args);
+    double scale = args.getDouble("scale", 0.5);
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
+
+    LintOptions opt;
+    opt.werror = args.getBool("Werror", false);
+    opt.maxInstrsPerWarp =
+        static_cast<u32>(args.getInt("max-instrs", 4096));
+
+    // Each job writes its LintReport into its own submission slot, so
+    // the report vector — like every sweep table — is identical at any
+    // worker count.
+    std::vector<LintReport> reports(names.size());
+    std::vector<SweepJob> sweep;
+    for (size_t i = 0; i < names.size(); ++i) {
+        SweepJob job;
+        job.label = "lint " + names[i];
+        job.run = [&reports, &names, &opt, scale, i]() {
+            auto k = createBenchmark(names[i], scale);
+            reports[i] = lintKernel(*k, opt);
+            return SimResult{};
+        };
+        sweep.push_back(std::move(job));
+    }
+    SweepStats stats;
+    runSweep(sweep, jobs, &stats);
+
+    u64 errors = 0, warnings = 0;
+    for (const LintReport& r : reports) {
+        errors += r.errors();
+        warnings += r.warnings();
+    }
+
+    if (args.getBool("json", false)) {
+        printJson(std::cout, reports);
+        return errors > 0 ? 1 : 0;
+    }
+
+    Table t({"kernel", "instrs", "errors", "warns", "infos", "pressure",
+             "orf-reach", "shared-degree avg/max"});
+    for (const LintReport& r : reports) {
+        const LintMetrics& m = r.metrics;
+        t.addRow({r.kernel, std::to_string(m.instrs),
+                  std::to_string(r.errors()), std::to_string(r.warnings()),
+                  std::to_string(r.infos()),
+                  std::to_string(m.regPressure),
+                  Table::num(m.orfReachableFraction(), 3),
+                  Table::num(m.avgSharedConflictDegree(), 2) + " / " +
+                      std::to_string(m.sharedDegreeMax)});
+    }
+    t.print(std::cout);
+
+    if (!args.getBool("quiet", false))
+        for (const LintReport& r : reports)
+            r.diags.print(std::cout);
+
+    std::cout << "lint: " << names.size() << " kernels, " << errors
+              << " errors, " << warnings << " warnings ("
+              << stats.summary() << ")\n";
+    return errors > 0 ? 1 : 0;
+}
