@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tracked performance benchmark of the simulator itself (host wall-clock,
+ * not modeled cycles). Three phases, each timed over --repeat runs:
+ *
+ *   fig8      the full Figure 8 sweep (partitioned baseline + unified
+ *             point per benefit application) through the parallel sweep
+ *             engine
+ *   autotune  the thread-limit autotuner plus Fermi best-of-two over the
+ *             benefit set - heavy result-cache reuse of fig8's points
+ *   kernel    one kernel simulated end to end with the result cache off,
+ *             reported as simulated warp-instructions and cycles per
+ *             wall second (raw SmModel throughput)
+ *
+ * The fig8+autotune composite (sum of phase totals) is the number
+ * scripts/bench.sh compares across commits. Results are emitted as JSON
+ * (default BENCH_results.json) so CI can archive them per commit.
+ *
+ * Flags: --scale=<f>    workload scale (default 0.1)
+ *        --jobs=<n>     sweep workers (default UNIMEM_JOBS or all cores)
+ *        --repeat=<n>   timed repetitions per phase (default 3)
+ *        --kernel=<s>   kernel-phase benchmark (default dgemm)
+ *        --out=<path>   JSON output path (default BENCH_results.json)
+ *        --no-cache     disable the result cache for the sweep phases
+ *        --smoke        CI quick mode (scale 0.05, 1 repetition)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "kernels/registry.hh"
+#include "sim/experiments.hh"
+#include "sim/sweep.hh"
+
+// The harness is deliberately portable to commits that predate the
+// result cache, so scripts/bench.sh --compare can drop this exact file
+// into an older worktree and time the same composite.
+#if __has_include("sim/result_cache.hh")
+#include "sim/result_cache.hh"
+#define UNIMEM_HAVE_RESULT_CACHE 1
+#else
+#define UNIMEM_HAVE_RESULT_CACHE 0
+#endif
+
+using namespace unimem;
+
+namespace {
+
+bool
+cacheEnabled()
+{
+#if UNIMEM_HAVE_RESULT_CACHE
+    return resultCache().enabled();
+#else
+    return false;
+#endif
+}
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Wall seconds per repetition plus cache counter deltas for one phase. */
+struct PhaseResult
+{
+    std::string name;
+    std::vector<double> secs;
+    u64 memoHits = 0;
+    u64 memoMisses = 0;
+
+    double
+    total() const
+    {
+        return std::accumulate(secs.begin(), secs.end(), 0.0);
+    }
+
+    double
+    best() const
+    {
+        return *std::min_element(secs.begin(), secs.end());
+    }
+};
+
+template <typename Body>
+PhaseResult
+timedPhase(const std::string& name, int repeat, Body&& body)
+{
+    PhaseResult r;
+    r.name = name;
+#if UNIMEM_HAVE_RESULT_CACHE
+    u64 hits0 = resultCache().hits();
+    u64 misses0 = resultCache().misses();
+#endif
+    for (int i = 0; i < repeat; ++i) {
+        Clock::time_point start = Clock::now();
+        body();
+        r.secs.push_back(secondsSince(start));
+    }
+#if UNIMEM_HAVE_RESULT_CACHE
+    r.memoHits = resultCache().hits() - hits0;
+    r.memoMisses = resultCache().misses() - misses0;
+#endif
+    std::cout << "  " << name << ": total " << r.total() << " s over "
+              << repeat << " rep(s), best " << r.best() << " s, memo "
+              << r.memoHits << " hit / " << r.memoMisses << " miss\n";
+    return r;
+}
+
+std::vector<SweepJob>
+fig8Jobs(const std::vector<std::string>& names, double scale)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(2 * names.size());
+    for (const std::string& name : names) {
+        jobs.push_back(
+            makeSweepJob(name + "/baseline", name, scale, RunSpec{}));
+        RunSpec uni;
+        uni.design = DesignKind::Unified;
+        uni.unifiedCapacity = 384_KB;
+        jobs.push_back(makeSweepJob(name + "/unified", name, scale, uni));
+    }
+    return jobs;
+}
+
+void
+appendPhaseJson(std::ostringstream& os, const PhaseResult& r)
+{
+    os << "    {\"name\": \"" << r.name << "\", \"reps\": "
+       << r.secs.size() << ", \"total_s\": " << r.total()
+       << ", \"best_s\": " << r.best() << ", \"secs\": [";
+    for (size_t i = 0; i < r.secs.size(); ++i)
+        os << (i ? ", " : "") << r.secs[i];
+    os << "], \"memo_hits\": " << r.memoHits
+       << ", \"memo_misses\": " << r.memoMisses << "}";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    bool smoke = args.getBool("smoke", false);
+    double scale = args.getDouble("scale", smoke ? 0.05 : 0.1);
+    u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
+    int repeat =
+        static_cast<int>(args.getInt("repeat", smoke ? 1 : 3));
+    std::string kernelName = args.getString("kernel", "dgemm");
+    std::string outPath = args.getString("out", "BENCH_results.json");
+#if UNIMEM_HAVE_RESULT_CACHE
+    if (args.getBool("no-cache", false))
+        resultCache().setEnabled(false);
+#endif
+    if (repeat < 1)
+        fatal("perf_harness: --repeat must be >= 1");
+    if (!findBenchmark(kernelName))
+        fatal("perf_harness: unknown --kernel=%s", kernelName.c_str());
+
+    std::vector<std::string> names = benefitBenchmarkNames();
+    std::cout << "=== Simulator perf harness (scale " << scale
+              << ", repeat " << repeat << ", cache "
+              << (cacheEnabled() ? "on" : "off") << ") ===\n";
+
+    // Phase 1: the Figure 8 sweep, the heaviest single harness.
+    u32 workersUsed = 0;
+    PhaseResult fig8 = timedPhase("fig8", repeat, [&] {
+        SweepStats stats;
+        runSweep(fig8Jobs(names, scale), jobs, &stats);
+        workersUsed = stats.workers;
+    });
+
+    // Phase 2: autotuner + Fermi best-of, which re-probe many fig8
+    // points (this is where the result cache pays off across harnesses).
+    PhaseResult autotune = timedPhase("autotune", repeat, [&] {
+        for (const std::string& name : names) {
+            runUnifiedAutotuned(name, scale, 384_KB);
+            runFermiBest(name, scale, 384_KB);
+        }
+    });
+
+    // Phase 3: raw single-kernel throughput with memoization off, so
+    // the number tracks SmModel speed rather than cache hit rate.
+    u64 kWarpInstrs = 0;
+    u64 kCycles = 0;
+    PhaseResult kernel = timedPhase("kernel", repeat, [&] {
+#if UNIMEM_HAVE_RESULT_CACHE
+        ScopedResultCacheDisable off;
+#endif
+        SimResult res = simulateBenchmark(kernelName, scale, RunSpec{});
+        kWarpInstrs = res.sm.warpInstrs;
+        kCycles = res.sm.cycles;
+    });
+    double kInstrsPerSec =
+        static_cast<double>(kWarpInstrs) * repeat / kernel.total();
+    double kCyclesPerSec =
+        static_cast<double>(kCycles) * repeat / kernel.total();
+
+    double composite = fig8.total() + autotune.total();
+    std::cout << "\ncomposite (fig8+autotune): " << composite << " s at "
+              << workersUsed << " worker(s)\n"
+              << "kernel throughput (" << kernelName << "): "
+              << kInstrsPerSec << " warp-instrs/s, " << kCyclesPerSec
+              << " sim-cycles/s\n";
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"schema\": \"unimem-bench-1\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"repeat\": " << repeat << ",\n"
+       << "  \"workers\": " << workersUsed << ",\n"
+       << "  \"cache_enabled\": "
+       << (cacheEnabled() ? "true" : "false") << ",\n"
+       << "  \"composite_s\": " << composite << ",\n"
+       << "  \"phases\": [\n";
+    appendPhaseJson(os, fig8);
+    os << ",\n";
+    appendPhaseJson(os, autotune);
+    os << ",\n";
+    appendPhaseJson(os, kernel);
+    os << "\n  ],\n"
+       << "  \"kernel_benchmark\": \"" << kernelName << "\",\n"
+       << "  \"kernel_warp_instrs_per_s\": " << kInstrsPerSec << ",\n"
+       << "  \"kernel_sim_cycles_per_s\": " << kCyclesPerSec << "\n"
+       << "}\n";
+
+    std::ofstream out(outPath);
+    if (!out)
+        fatal("perf_harness: cannot write %s", outPath.c_str());
+    out << os.str();
+    std::cout << "wrote " << outPath << "\n";
+    return 0;
+}

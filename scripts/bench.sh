@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Tracked simulator performance benchmark (host wall-clock).
+#
+# Builds bench/perf_harness in an optimized tree (build-bench/, Release,
+# NDEBUG) and runs it, emitting BENCH_results.json at the repo root.
+# Modes:
+#   scripts/bench.sh                 full run (scale 0.1, 3 repetitions)
+#   scripts/bench.sh --smoke         CI quick mode (scale 0.05, 1 rep)
+#   scripts/bench.sh --compare REF   also build REF in a throwaway git
+#                                    worktree (this commit's harness is
+#                                    copied in, so both sides time the
+#                                    identical fig8+autotune composite)
+#                                    and report new-vs-REF speedup
+# Extra flags (--scale=, --jobs=, --repeat=, --kernel=, --no-cache) are
+# forwarded to perf_harness. The build tree is .gitignore'd.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+compare_ref=""
+harness_flags=()
+for arg in "$@"; do
+    case "$arg" in
+      --compare=*) compare_ref="${arg#--compare=}" ;;
+      --compare) echo "use --compare=REF" >&2; exit 2 ;;
+      *) harness_flags+=("$arg") ;;
+    esac
+done
+
+build_harness() { # build_harness <srcdir> <builddir>
+    cmake -B "$2" -S "$1" -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "$2" -j "$JOBS" --target perf_harness >/dev/null
+}
+
+echo "=== bench: building perf_harness (Release) ==="
+build_harness . build-bench
+
+echo "=== bench: running perf_harness ==="
+./build-bench/bench/perf_harness --out=BENCH_results.json \
+    ${harness_flags[@]+"${harness_flags[@]}"}
+
+if [[ -n "$compare_ref" ]]; then
+    worktree=$(mktemp -d /tmp/unimem-bench-ref.XXXXXX)
+    trap 'git worktree remove --force "$worktree" >/dev/null 2>&1 || true
+          rm -rf "$worktree"' EXIT
+    echo "=== bench: building $compare_ref for comparison ==="
+    git worktree add --detach --force "$worktree" "$compare_ref" >/dev/null
+    # Time the identical composite on both sides: ship this commit's
+    # harness into the reference tree (it degrades gracefully on
+    # commits that predate the result cache).
+    cp bench/perf_harness.cc "$worktree/bench/perf_harness.cc"
+    if ! grep -q 'unimem_bench(perf_harness' "$worktree/bench/CMakeLists.txt"
+    then
+        echo 'unimem_bench(perf_harness perf_harness.cc)' \
+            >> "$worktree/bench/CMakeLists.txt"
+    fi
+    build_harness "$worktree" "$worktree/build-bench"
+
+    echo "=== bench: running perf_harness at $compare_ref ==="
+    (cd "$worktree" && ./build-bench/bench/perf_harness \
+        --out="$worktree/BENCH_ref.json" \
+        ${harness_flags[@]+"${harness_flags[@]}"})
+
+    new_s=$(sed -n 's/.*"composite_s": \([0-9.eE+-]*\).*/\1/p' \
+        BENCH_results.json)
+    ref_s=$(sed -n 's/.*"composite_s": \([0-9.eE+-]*\).*/\1/p' \
+        "$worktree/BENCH_ref.json")
+    awk -v new="$new_s" -v ref="$ref_s" -v refname="$compare_ref" \
+        'BEGIN { printf "=== bench: composite %.3fs vs %.3fs at %s " \
+                        "-> %.2fx speedup ===\n", \
+                 new, ref, refname, ref / new }'
+fi
+
+echo "=== bench: wrote BENCH_results.json ==="

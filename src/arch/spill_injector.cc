@@ -83,10 +83,10 @@ SpillInjector::fill(std::vector<WarpInstr>& buf)
 
     // Remap the chunk into the allocated register range, then interleave
     // spill traffic at the configured rate. Barriers never spill around.
-    std::vector<WarpInstr> chunk(buf.begin() + start, buf.end());
+    chunk_.assign(buf.begin() + start, buf.end());
     buf.resize(start);
     double rate = cfg_.multiplier - 1.0;
-    for (WarpInstr in : chunk) {
+    for (WarpInstr in : chunk_) {
         in.dst = remap(in.dst);
         for (u8 s = 0; s < in.numSrc; ++s)
             in.src[s] = remap(in.src[s]);

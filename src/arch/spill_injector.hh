@@ -74,6 +74,9 @@ class SpillInjector : public WarpProgram
 
     /** Alternates stores and fills for injected traffic. */
     u64 spillCounter_ = 0;
+
+    /** Scratch for the remap pass; reused across fill() calls. */
+    std::vector<WarpInstr> chunk_;
 };
 
 } // namespace unimem

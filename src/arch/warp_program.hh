@@ -57,28 +57,43 @@ class WarpProgram
 /**
  * Pull-based reader over a WarpProgram with single-instruction lookahead,
  * which is what the issue logic needs for dependence checks.
+ *
+ * Refills batch several fill() calls into one chunk buffer so the
+ * per-instruction cost of the issue loop is an index bump, not a virtual
+ * dispatch; the buffer's capacity is retained across reset() so CTA
+ * relaunches reuse it instead of reallocating.
  */
 class InstrStream
 {
   public:
+    /** Empty stream; bind a program with reset() before use. */
+    InstrStream() = default;
+
     explicit InstrStream(std::unique_ptr<WarpProgram> prog)
         : prog_(std::move(prog))
     {
     }
 
+    /** Rebind to a new program, reusing the chunk buffer's capacity. */
+    void
+    reset(std::unique_ptr<WarpProgram> prog)
+    {
+        prog_ = std::move(prog);
+        buf_.clear();
+        pos_ = 0;
+        done_ = false;
+    }
+
+    /** Drop the program at warp retirement; the buffer stays pooled. */
+    void release() { prog_.reset(); }
+
     /** Next instruction without consuming it; nullptr at end of trace. */
     const WarpInstr*
     peek()
     {
-        while (pos_ >= buf_.size()) {
-            if (done_)
-                return nullptr;
-            buf_.clear();
-            pos_ = 0;
-            if (!prog_->fill(buf_))
-                done_ = true;
-        }
-        return &buf_[pos_];
+        if (pos_ < buf_.size())
+            return &buf_[pos_];
+        return refill();
     }
 
     /** Consume the instruction returned by peek(). */
@@ -87,6 +102,26 @@ class InstrStream
     bool exhausted() { return peek() == nullptr; }
 
   private:
+    /** Gather fill() chunks until the batch target is reached. */
+    const WarpInstr*
+    refill()
+    {
+        if (done_)
+            return nullptr;
+        buf_.clear();
+        pos_ = 0;
+        while (buf_.size() < kChunkTarget) {
+            if (!prog_->fill(buf_)) {
+                done_ = true;
+                break;
+            }
+        }
+        return pos_ < buf_.size() ? &buf_[pos_] : nullptr;
+    }
+
+    /** Instructions gathered per refill; one fill() is typically 5-20. */
+    static constexpr size_t kChunkTarget = 64;
+
     std::unique_ptr<WarpProgram> prog_;
     std::vector<WarpInstr> buf_;
     size_t pos_ = 0;

@@ -4,10 +4,10 @@
 
 namespace unimem {
 
-std::vector<CoalescedAccess>
-coalesce(const WarpInstr& in)
+void
+coalesce(const WarpInstr& in, std::vector<CoalescedAccess>& out)
 {
-    std::vector<CoalescedAccess> out;
+    out.clear();
     if (!isMemOp(in.op))
         panic("coalesce: non-memory opcode %s", opcodeName(in.op));
 
@@ -33,6 +33,13 @@ coalesce(const WarpInstr& in)
         acc->sectorMask |= static_cast<u8>(1u << sector);
         acc->bytesTouched += in.accessBytes;
     }
+}
+
+std::vector<CoalescedAccess>
+coalesce(const WarpInstr& in)
+{
+    std::vector<CoalescedAccess> out;
+    coalesce(in, out);
     return out;
 }
 

@@ -38,9 +38,14 @@ struct CoalescedAccess
 };
 
 /**
- * Coalesce one warp instruction's lane addresses.
- * Results are ordered by first-touching lane.
+ * Coalesce one warp instruction's lane addresses into @p out (cleared
+ * first). Results are ordered by first-touching lane. Taking the output
+ * vector lets the per-cycle issue path reuse one scratch buffer instead
+ * of allocating per memory instruction.
  */
+void coalesce(const WarpInstr& in, std::vector<CoalescedAccess>& out);
+
+/** Allocating convenience wrapper. */
 std::vector<CoalescedAccess> coalesce(const WarpInstr& in);
 
 } // namespace unimem

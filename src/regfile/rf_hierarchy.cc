@@ -5,11 +5,22 @@
 namespace unimem {
 
 WarpRegFile::WarpRegFile(const RfHierarchyConfig& cfg, u32 warpSlot)
-    : cfg_(cfg), warpSlot_(warpSlot)
 {
-    if (cfg_.orfEntries > orf_.size())
+    reset(cfg, warpSlot);
+}
+
+void
+WarpRegFile::reset(const RfHierarchyConfig& cfg, u32 warpSlot)
+{
+    if (cfg.orfEntries > orf_.size())
         fatal("WarpRegFile: orfEntries %u exceeds model maximum %zu",
-              cfg_.orfEntries, orf_.size());
+              cfg.orfEntries, orf_.size());
+    cfg_ = cfg;
+    warpSlot_ = warpSlot;
+    lrfReg_ = kInvalidReg;
+    orf_.fill(OrfEntry{});
+    useClock_ = 0;
+    counts_ = RfAccessCounts{};
 }
 
 bool

@@ -86,7 +86,17 @@ struct RfAccessCounts
 class WarpRegFile
 {
   public:
+    /** Inert state; call reset() before use (pooled warp slots). */
+    WarpRegFile() = default;
+
     WarpRegFile(const RfHierarchyConfig& cfg, u32 warpSlot);
+
+    /**
+     * Reinitialize for a fresh warp launch: clears the LRF/ORF, the use
+     * clock, and the access counters. Equivalent to constructing anew,
+     * without the allocation (warp slots pool these across relaunches).
+     */
+    void reset(const RfHierarchyConfig& cfg, u32 warpSlot);
 
     /**
      * Classify the operand accesses of one instruction.
@@ -124,7 +134,7 @@ class WarpRegFile
     void writeDst(RegId r, bool toMrf);
 
     RfHierarchyConfig cfg_;
-    u32 warpSlot_;
+    u32 warpSlot_ = 0;
 
     RegId lrfReg_ = kInvalidReg;
 

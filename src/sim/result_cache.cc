@@ -1,0 +1,218 @@
+#include "sim/result_cache.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+
+#include "common/log.hh"
+
+namespace unimem {
+
+namespace {
+
+/** Append the raw bytes of @p v to @p key. */
+template <typename T>
+void
+appendBytes(std::string& key, const T& v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char* p = reinterpret_cast<const char*>(&v);
+    key.append(p, sizeof(T));
+}
+
+} // namespace
+
+std::string
+resultCacheKey(const std::string& benchmark, double scale,
+               const KernelParams& kp, const RunSpec& spec)
+{
+    // The key is the resolved run: any two RunSpecs that collapse to
+    // the same allocation (e.g. autotuner thread limits past the
+    // occupancy knee) share an entry. Every field that reaches the
+    // SmRunConfig participates; the asserts fail the build when a field
+    // is added so this list cannot rot. (Sizes are the x86-64 SysV
+    // layout the toolchain and CI both use.)
+#if defined(__x86_64__) && defined(__linux__)
+    static_assert(sizeof(RunSpec) == 72,
+                  "RunSpec changed: add the new field to resultCacheKey");
+    static_assert(sizeof(LaunchConfig) == 40,
+                  "LaunchConfig changed: add the field to resultCacheKey");
+#endif
+    AllocationDecision alloc = resolveAllocation(kp, spec);
+
+    std::string key;
+    key.reserve(benchmark.size() + 1 + 120);
+    key += benchmark;
+    key += '\0'; // names never contain NUL; keeps the key unambiguous
+    appendBytes(key, scale);
+
+    // Kernel identity beyond the name (defensive against a registry
+    // change remapping the same (name, scale) to new parameters).
+    appendBytes(key, kp.regsPerThread);
+    appendBytes(key, kp.sharedBytesPerCta);
+    appendBytes(key, kp.ctaThreads);
+    appendBytes(key, kp.gridCtas);
+
+    // Resolved allocation. spec.design (not the post-resolution Fermi ->
+    // Partitioned mapping) so FermiLike results keep their design tag.
+    appendBytes(key, spec.design);
+    appendBytes(key, alloc.partition.rfBytes);
+    appendBytes(key, alloc.partition.sharedBytes);
+    appendBytes(key, alloc.partition.cacheBytes);
+    appendBytes(key, alloc.launch.feasible);
+    appendBytes(key, alloc.launch.regsPerThread);
+    appendBytes(key, alloc.launch.spillMultiplier);
+    appendBytes(key, alloc.launch.ctas);
+    appendBytes(key, alloc.launch.threads);
+    appendBytes(key, alloc.launch.rfBytes);
+    appendBytes(key, alloc.launch.sharedBytes);
+
+    // Model knobs the SmRunConfig carries verbatim.
+    appendBytes(key, spec.rfHierarchy);
+    appendBytes(key, spec.conflictPenalties);
+    appendBytes(key, spec.aggressiveUnified);
+    appendBytes(key, spec.cachePolicy);
+    appendBytes(key, spec.activeSetSize);
+    appendBytes(key, spec.seed);
+    return key;
+}
+
+SimResultCache::SimResultCache(size_t capacity) : capacity_(capacity)
+{
+}
+
+std::optional<SimResult>
+SimResultCache::lookup(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_)
+        return std::nullopt;
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+}
+
+void
+SimResultCache::insert(const std::string& key, const SimResult& result)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_ || capacity_ == 0)
+        return;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Concurrent workers can race to fill the same key; by the
+        // determinism invariant both computed the same result.
+        it->second->second = result;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, result);
+    map_[key] = lru_.begin();
+    evictToCapacityLocked();
+}
+
+void
+SimResultCache::evictToCapacityLocked()
+{
+    while (lru_.size() > capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+void
+SimResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    map_.clear();
+}
+
+void
+SimResultCache::setEnabled(bool enabled)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = enabled;
+}
+
+bool
+SimResultCache::enabled() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+}
+
+void
+SimResultCache::setCapacity(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity;
+    evictToCapacityLocked();
+}
+
+size_t
+SimResultCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+}
+
+size_t
+SimResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+}
+
+u64
+SimResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+u64
+SimResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+u64
+SimResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+SimResultCache&
+resultCache()
+{
+    static SimResultCache* cache = [] {
+        auto* c = new SimResultCache();
+        if (const char* env = std::getenv("UNIMEM_RESULT_CACHE")) {
+            if (std::strcmp(env, "0") == 0 ||
+                std::strcmp(env, "off") == 0)
+                c->setEnabled(false);
+        }
+        if (const char* env =
+                std::getenv("UNIMEM_RESULT_CACHE_ENTRIES")) {
+            long n = std::atol(env);
+            if (n >= 0)
+                c->setCapacity(static_cast<size_t>(n));
+            else
+                warn("ignoring invalid UNIMEM_RESULT_CACHE_ENTRIES='%s'",
+                     env);
+        }
+        return c;
+    }();
+    return *cache;
+}
+
+} // namespace unimem

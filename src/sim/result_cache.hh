@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Config-keyed simulation result memoization.
+ *
+ * Every simulation of a registry benchmark is a pure function of
+ * (benchmark name, scale, RunSpec): the RNG is seeded from the spec and
+ * the trace generators are deterministic (the invariant the sweep engine
+ * already audits via UNIMEM_CHECK_DETERMINISM). The figure/table
+ * harnesses, the thread-limit autotuner, and the Fermi best-of loops all
+ * probe overlapping points, so simulateBenchmark() fronts the simulator
+ * with a process-wide, thread-safe, LRU-bounded result cache: duplicate
+ * points simulate once and every later probe is a map lookup.
+ *
+ * The cache key is the *resolved* form of a run - benchmark identity
+ * (name, scale, KernelParams), the allocation the RunSpec implies
+ * (partition, LaunchConfig), and every model knob the SmRunConfig
+ * carries (design, active set, hierarchy/conflict/cache policy, seed) -
+ * serialized as raw bytes and compared exactly (no hash-collision
+ * risk). Keying on the resolved allocation instead of the raw RunSpec
+ * captures strictly more reuse: the thread-limit autotuner probes specs
+ * that differ only in threadLimit yet collapse to the allocation a
+ * figure sweep already simulated, and those now hit. A hit is
+ * bit-identical to re-simulating by construction. simulate() on an
+ * arbitrary KernelModel is NOT cached: only the registry factory
+ * guarantees that (name, scale) pins down the whole workload.
+ *
+ * Environment knobs (read once at first use):
+ *   UNIMEM_RESULT_CACHE=0|off      disable memoization
+ *   UNIMEM_RESULT_CACHE_ENTRIES=N  LRU capacity (default 8192)
+ */
+
+#ifndef UNIMEM_SIM_RESULT_CACHE_HH
+#define UNIMEM_SIM_RESULT_CACHE_HH
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulator.hh"
+
+namespace unimem {
+
+/**
+ * Exact-match key for one simulation point: benchmark identity plus the
+ * resolved (KernelParams, allocation, SmRunConfig-equivalent, seed)
+ * content. @p kp must be the params of the kernel (name, scale) creates.
+ */
+std::string resultCacheKey(const std::string& benchmark, double scale,
+                           const KernelParams& kp, const RunSpec& spec);
+
+/**
+ * Thread-safe LRU map from cache key to SimResult. All counters and the
+ * LRU structure are guarded by one mutex; the lock is never held while a
+ * simulation runs, so concurrent sweep workers that miss on the same key
+ * simulate independently and the last insert wins (both results are
+ * identical by the determinism invariant).
+ */
+class SimResultCache
+{
+  public:
+    explicit SimResultCache(size_t capacity = kDefaultCapacity);
+
+    /** Copy of the cached result, or nullopt. Counts a hit or a miss. */
+    std::optional<SimResult> lookup(const std::string& key);
+
+    /** Insert (or refresh) @p key, evicting LRU entries beyond capacity. */
+    void insert(const std::string& key, const SimResult& result);
+
+    /** Drop all entries (counters keep accumulating). */
+    void clear();
+
+    /** Memoization on/off; lookups and inserts are no-ops when off. */
+    void setEnabled(bool enabled);
+    bool enabled() const;
+
+    /** Resize the LRU bound, evicting immediately if shrinking. */
+    void setCapacity(size_t capacity);
+    size_t capacity() const;
+
+    size_t size() const;
+    u64 hits() const;
+    u64 misses() const;
+    u64 evictions() const;
+
+    static constexpr size_t kDefaultCapacity = 8192;
+
+  private:
+    void evictToCapacityLocked();
+
+    mutable std::mutex mu_;
+    size_t capacity_;
+    bool enabled_ = true;
+
+    /** Most-recently-used entries at the front. */
+    std::list<std::pair<std::string, SimResult>> lru_;
+    std::unordered_map<std::string, decltype(lru_)::iterator> map_;
+
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 evictions_ = 0;
+};
+
+/** The process-wide cache simulateBenchmark() consults. */
+SimResultCache& resultCache();
+
+/**
+ * RAII guard that turns the global cache off (tests that must exercise
+ * real re-simulation, e.g. the sweep determinism suite).
+ */
+class ScopedResultCacheDisable
+{
+  public:
+    ScopedResultCacheDisable() : prev_(resultCache().enabled())
+    {
+        resultCache().setEnabled(false);
+    }
+
+    ~ScopedResultCacheDisable() { resultCache().setEnabled(prev_); }
+
+    ScopedResultCacheDisable(const ScopedResultCacheDisable&) = delete;
+    ScopedResultCacheDisable&
+    operator=(const ScopedResultCacheDisable&) = delete;
+
+  private:
+    bool prev_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_SIM_RESULT_CACHE_HH

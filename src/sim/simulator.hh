@@ -86,7 +86,14 @@ bool identicalResults(const SimResult& a, const SimResult& b);
  */
 SimResult simulate(const KernelModel& kernel, const RunSpec& spec);
 
-/** Convenience: instantiate a registry benchmark and run it. */
+/**
+ * Convenience: instantiate a registry benchmark and run it.
+ *
+ * Fronted by the process-wide result cache (sim/result_cache.hh):
+ * a (name, scale, spec) point that has already been simulated returns
+ * its memoized SimResult instead of re-simulating. Disable with
+ * UNIMEM_RESULT_CACHE=0 or a ScopedResultCacheDisable guard.
+ */
 SimResult simulateBenchmark(const std::string& name, double scale,
                             const RunSpec& spec);
 

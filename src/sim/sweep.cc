@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "sim/result_cache.hh"
 
 namespace unimem {
 
@@ -67,11 +68,19 @@ SweepStats::utilization() const
 std::string
 SweepStats::summary() const
 {
-    return strprintf("%llu jobs on %u worker%s in %.3fs (utilization "
-                     "%.0f%%)",
-                     static_cast<unsigned long long>(jobCount), workers,
-                     workers == 1 ? "" : "s", wallSeconds,
-                     utilization() * 100.0);
+    std::string s =
+        strprintf("%llu jobs on %u worker%s in %.3fs (utilization "
+                  "%.0f%%)",
+                  static_cast<unsigned long long>(jobCount), workers,
+                  workers == 1 ? "" : "s", wallSeconds,
+                  utilization() * 100.0);
+    if (memoHits + memoMisses > 0)
+        s += strprintf(", memo %llu hit%s / %llu miss%s",
+                       static_cast<unsigned long long>(memoHits),
+                       memoHits == 1 ? "" : "s",
+                       static_cast<unsigned long long>(memoMisses),
+                       memoMisses == 1 ? "" : "es");
+    return s;
 }
 
 SweepRunner::SweepRunner(u32 workers)
@@ -120,6 +129,8 @@ SweepRunner::run(const std::vector<SweepJob>& jobs)
 
     std::vector<JobOutcome> outcomes(jobs.size());
     Clock::time_point sweepStart = Clock::now();
+    u64 memoHits0 = resultCache().hits();
+    u64 memoMisses0 = resultCache().misses();
 
     // Each worker claims the next unclaimed index and writes the
     // outcome into that index's slot: completion order never affects
@@ -158,6 +169,8 @@ SweepRunner::run(const std::vector<SweepJob>& jobs)
             t.join();
     }
     stats_.wallSeconds = secondsSince(sweepStart);
+    stats_.memoHits = resultCache().hits() - memoHits0;
+    stats_.memoMisses = resultCache().misses() - memoMisses0;
 
     // Propagate the first failure in submission order - deterministic
     // no matter which worker hit it first.

@@ -80,6 +80,12 @@ struct SweepStats
     /** Busy time per worker (seconds). */
     std::vector<double> workerBusySeconds;
 
+    /** Result-cache hits during this run (duplicate points memoized). */
+    u64 memoHits = 0;
+
+    /** Result-cache misses during this run (points actually simulated). */
+    u64 memoMisses = 0;
+
     /** Sum of worker busy time / (workers * wall); 0 when empty. */
     double utilization() const;
 

@@ -10,7 +10,7 @@ namespace unimem {
 
 SmModel::SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
                  DramModel* sharedDram, DramModel* sharedTexDram)
-    : cfg_(cfg), kernel_(kernel),
+    : cfg_(cfg), kernel_(kernel), kp_(kernel.params()),
       conflicts_(cfg.design, cfg.aggressiveUnified),
       sched_(cfg.activeSetSize),
       cache_(cfg.partition.cacheBytes, 4, cfg.cachePolicy),
@@ -20,38 +20,51 @@ SmModel::SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
       texDram_(sharedTexDram != nullptr ? sharedTexDram : &ownTexDram_),
       tex_(cfg.texCacheBytes, cfg.lat.texture, texDram_)
 {
-    const KernelParams& kp = kernel_.params();
-    kp.validate();
+    kp_.validate();
     if (!cfg_.launch.feasible)
-        fatal("SmModel: infeasible launch for kernel %s", kp.name.c_str());
+        fatal("SmModel: infeasible launch for kernel %s",
+              kp_.name.c_str());
 
-    u32 num_warps = cfg_.launch.ctas * kp.warpsPerCta();
+    u32 warps_per_cta = kp_.warpsPerCta();
+    u32 num_warps = cfg_.launch.ctas * warps_per_cta;
     if (num_warps == 0 || num_warps > kMaxWarpsPerSm)
         fatal("SmModel: %u resident warps out of range", num_warps);
 
     warps_.resize(num_warps);
     ctas_.resize(cfg_.launch.ctas);
     for (u32 c = 0; c < cfg_.launch.ctas; ++c) {
-        for (u32 w = 0; w < kp.warpsPerCta(); ++w)
-            ctas_[c].warps.push_back(c * kp.warpsPerCta() + w);
+        ctas_[c].warps.reserve(warps_per_cta);
+        for (u32 w = 0; w < warps_per_cta; ++w)
+            ctas_[c].warps.push_back(c * warps_per_cta + w);
     }
+    activeScratch_.reserve(cfg_.activeSetSize);
+    coalesceScratch_.reserve(kWarpWidth);
 }
 
 void
 SmModel::launchCta(u32 ctaSlot)
 {
-    const KernelParams& kp = kernel_.params();
     CtaSlot& cta = ctas_[ctaSlot];
+    const u32 warps_per_cta = kp_.warpsPerCta();
 
     u32 cta_id = nextCta_++;
     cta.occupied = true;
-    cta.warpsRemaining = kp.warpsPerCta();
+    cta.warpsRemaining = warps_per_cta;
     cta.barrierWaiting = 0;
 
     SpillConfig spill;
-    spill.neededRegs = kp.regsPerThread;
+    spill.neededRegs = kp_.regsPerThread;
     spill.allocatedRegs = cfg_.launch.regsPerThread;
     spill.multiplier = cfg_.launch.spillMultiplier;
+
+    // When the launch allocates the full register budget and the curve
+    // injects nothing, the SpillInjector is a pure pass-through; skip
+    // the wrapper (and its per-chunk copy) entirely.
+    const bool needs_spill =
+        spill.active() || spill.allocatedRegs < spill.neededRegs;
+
+    RfHierarchyConfig rf_cfg;
+    rf_cfg.enabled = cfg_.rfHierarchy;
 
     for (u32 i = 0; i < cta.warps.size(); ++i) {
         u32 slot = cta.warps[i];
@@ -60,21 +73,19 @@ SmModel::launchCta(u32 ctaSlot)
         WarpCtx ctx;
         ctx.ctaId = cta_id;
         ctx.warpInCta = i;
-        ctx.warpsPerCta = kp.warpsPerCta();
-        ctx.threadsPerCta = kp.ctaThreads;
+        ctx.warpsPerCta = warps_per_cta;
+        ctx.threadsPerCta = kp_.ctaThreads;
         ctx.seed = cfg_.seed;
 
-        u64 warp_gid =
-            static_cast<u64>(cta_id) * kp.warpsPerCta() + i;
+        u64 warp_gid = static_cast<u64>(cta_id) * warps_per_cta + i;
         std::unique_ptr<WarpProgram> prog = kernel_.warpProgram(ctx);
-        prog = std::make_unique<SpillInjector>(std::move(prog), spill,
-                                               warp_gid);
+        if (needs_spill)
+            prog = std::make_unique<SpillInjector>(std::move(prog),
+                                                   spill, warp_gid);
 
-        ws.stream = std::make_unique<InstrStream>(std::move(prog));
+        ws.stream.reset(std::move(prog));
         ws.sb.reset();
-        RfHierarchyConfig rf_cfg;
-        rf_cfg.enabled = cfg_.rfHierarchy;
-        ws.rf = std::make_unique<WarpRegFile>(rf_cfg, slot);
+        ws.rf.reset(rf_cfg, slot);
         ws.resident = true;
         ws.atBarrier = false;
         ws.ctaSlot = ctaSlot;
@@ -90,10 +101,10 @@ void
 SmModel::retireWarp(u32 w)
 {
     WarpSlot& ws = warps_[w];
-    stats_.rf.merge(ws.rf->counts());
+    stats_.rf.merge(ws.rf.counts());
     sched_.retire(w);
     ws.resident = false;
-    ws.stream.reset();
+    ws.stream.release();
     ++ws.gen; // invalidate in-flight load events
     --residentWarps_;
 
@@ -101,15 +112,17 @@ SmModel::retireWarp(u32 w)
     if (--cta.warpsRemaining == 0) {
         cta.occupied = false;
         ++stats_.ctasExecuted;
-        if (nextCta_ < kernel_.params().gridCtas)
+        if (nextCta_ < kp_.gridCtas)
             launchCta(ws.ctaSlot);
     }
 }
 
 void
-SmModel::processEvents()
+SmModel::drainDueEvents()
 {
-    while (!events_.empty() && events_.top().at <= now_) {
+    // Caller (the inline processEvents) has already established that
+    // at least one event is due.
+    do {
         LoadEvent ev = events_.top();
         events_.pop();
         WarpSlot& ws = warps_[ev.warp];
@@ -118,25 +131,27 @@ SmModel::processEvents()
         ws.sb.clearPending(ev.reg);
         if (ws.atBarrier || sched_.isActive(ev.warp))
             continue;
-        const WarpInstr* next = ws.stream->peek();
+        const WarpInstr* next = ws.stream.peek();
         if (next == nullptr || !ws.sb.dependsOnLongLatency(*next))
             sched_.signalEligible(ev.warp);
-    }
+    } while (!events_.empty() && events_.top().at <= now_);
 }
 
 void
 SmModel::housekeeping()
 {
-    // Snapshot: retire and deschedule mutate the active list.
-    std::vector<u32> active = sched_.activeWarps();
-    for (u32 w : active) {
+    // Snapshot into a reused scratch buffer: retire and deschedule
+    // mutate the active list, and a fresh vector here would put one
+    // heap allocation on every simulated cycle.
+    activeScratch_ = sched_.activeWarps();
+    for (u32 w : activeScratch_) {
         WarpSlot& ws = warps_[w];
-        const WarpInstr* in = ws.stream->peek();
+        const WarpInstr* in = ws.stream.peek();
         if (in == nullptr) {
             retireWarp(w);
         } else if (ws.sb.dependsOnLongLatency(*in)) {
             // All live values must reside in the MRF while inactive.
-            ws.rf->flushToMrf();
+            ws.rf.flushToMrf();
             sched_.deschedule(w);
         }
     }
@@ -148,8 +163,7 @@ SmModel::warpReady(u32 w) const
     const WarpSlot& ws = warps_[w];
     if (!ws.resident || ws.atBarrier)
         return false;
-    const WarpInstr* in =
-        const_cast<InstrStream*>(ws.stream.get())->peek();
+    const WarpInstr* in = const_cast<InstrStream&>(ws.stream).peek();
     if (in == nullptr)
         return false;
     return ws.sb.readyCycle(*in) <= now_;
@@ -176,7 +190,7 @@ SmModel::execBarrier(u32 w)
     ++stats_.barriers;
 
     ws.atBarrier = true;
-    ws.rf->flushToMrf();
+    ws.rf.flushToMrf();
     sched_.deschedule(w);
     if (++cta.barrierWaiting == cta.warpsRemaining)
         releaseBarrier(cta);
@@ -219,7 +233,8 @@ void
 SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt)
 {
     WarpSlot& ws = warps_[w];
-    std::vector<CoalescedAccess> lines = coalesce(in);
+    coalesce(in, coalesceScratch_);
+    const std::vector<CoalescedAccess>& lines = coalesceScratch_;
     if (lines.empty())
         return;
 
@@ -304,8 +319,8 @@ void
 SmModel::issue(u32 w)
 {
     WarpSlot& ws = warps_[w];
-    const WarpInstr in = *ws.stream->peek();
-    ws.stream->pop();
+    const WarpInstr in = *ws.stream.peek();
+    ws.stream.pop();
 
     ++stats_.warpInstrs;
     stats_.threadInstrs += in.numActive();
@@ -323,7 +338,7 @@ SmModel::issue(u32 w)
     // descheduled before consuming them).
     u8 mrf_banks[3];
     bool ll_load = isLoad(in.op) && isLongLatency(in.op);
-    u32 num_mrf = ws.rf->accessOperands(in, ll_load, mrf_banks);
+    u32 num_mrf = ws.rf.accessOperands(in, ll_load, mrf_banks);
 
     ConflictOutcome co = conflicts_.evaluate(in, mrf_banks, num_mrf);
     stats_.conflictHist.record(co.maxPerBank);
@@ -366,7 +381,7 @@ SmModel::issue(u32 w)
         break; // handled above
     }
 
-    if (ws.stream->exhausted())
+    if (ws.stream.exhausted())
         retireWarp(w);
 }
 
@@ -383,7 +398,7 @@ SmModel::nextInterestingCycle() const
         if (!ws.resident || ws.atBarrier)
             continue;
         const WarpInstr* in =
-            const_cast<InstrStream*>(ws.stream.get())->peek();
+            const_cast<InstrStream&>(ws.stream).peek();
         if (in == nullptr || ws.sb.dependsOnLongLatency(*in))
             continue;
         Cycle ready = ws.sb.readyCycle(*in);
@@ -399,7 +414,7 @@ SmModel::start()
     if (started_)
         return;
     started_ = true;
-    const u32 total_ctas = kernel_.params().gridCtas;
+    const u32 total_ctas = kp_.gridCtas;
     for (u32 c = 0; c < ctas_.size() && nextCta_ < total_ctas; ++c)
         launchCta(c);
 }

@@ -27,6 +27,7 @@
 
 #include "arch/kernel_model.hh"
 #include "core/conflict_model.hh"
+#include "mem/coalescer.hh"
 #include "sched/scoreboard.hh"
 #include "sm/sm_config.hh"
 #include "sm/tex_unit.hh"
@@ -75,11 +76,16 @@ class SmModel
     const SmStats& stats() const { return stats_; }
 
   private:
+    /**
+     * One warp's machine state, held by value so the stream's chunk
+     * buffer and the register-file bookkeeping are pooled across CTA
+     * relaunches (reset, not reallocated, in launchCta).
+     */
     struct WarpSlot
     {
-        std::unique_ptr<InstrStream> stream;
+        InstrStream stream;
         Scoreboard sb;
-        std::unique_ptr<WarpRegFile> rf;
+        WarpRegFile rf;
         bool resident = false;
         bool atBarrier = false;
         u32 ctaSlot = 0;
@@ -110,7 +116,19 @@ class SmModel
     };
 
     void launchCta(u32 ctaSlot);
-    void processEvents();
+
+    /**
+     * Wake warps whose loads completed. The empty/not-yet-due check is
+     * inline so the per-cycle fast path costs two compares, not a call.
+     */
+    void
+    processEvents()
+    {
+        if (!events_.empty() && events_.top().at <= now_)
+            drainDueEvents();
+    }
+
+    void drainDueEvents();
     void housekeeping();
     bool warpReady(u32 w) const;
     void issue(u32 w);
@@ -127,6 +145,9 @@ class SmModel
 
     SmRunConfig cfg_;
     const KernelModel& kernel_;
+
+    /** Hoisted kernel_.params() — hot members read it every launch. */
+    const KernelParams& kp_;
 
     ConflictModel conflicts_;
     TwoLevelScheduler sched_;
@@ -155,6 +176,10 @@ class SmModel
     bool started_ = false;
     bool finalized_ = false;
     u64 guard_ = 0;
+
+    /** Per-cycle scratch buffers (reused, never reallocated when hot). */
+    std::vector<u32> activeScratch_;
+    std::vector<CoalescedAccess> coalesceScratch_;
 
     SmStats stats_;
 };

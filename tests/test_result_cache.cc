@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests of the simulation result cache: key sensitivity (every field
+ * that reaches the SmRunConfig misses on change; specs that resolve to
+ * the same allocation hit), bit-identical results with memoization on
+ * and off across 1/2/8 sweep workers, LRU eviction and the size bound,
+ * the ScopedResultCacheDisable guard, and cross-harness reuse between
+ * runUnified and the thread-limit autotuner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernels/registry.hh"
+#include "sim/experiments.hh"
+#include "sim/result_cache.hh"
+#include "sim/sweep.hh"
+
+namespace unimem {
+namespace {
+
+constexpr double kScale = 0.05;
+
+/** Key of ("bfs", kScale) with @p mutate applied to the default spec. */
+template <typename Mutate>
+std::string
+mutatedKey(Mutate&& mutate)
+{
+    std::unique_ptr<KernelModel> kernel = createBenchmark("bfs", kScale);
+    RunSpec spec;
+    mutate(spec);
+    return resultCacheKey("bfs", kScale, kernel->params(), spec);
+}
+
+// ---- Key construction -------------------------------------------------
+
+TEST(ResultCacheKey, StableForIdenticalInputs)
+{
+    EXPECT_EQ(mutatedKey([](RunSpec&) {}), mutatedKey([](RunSpec&) {}));
+}
+
+TEST(ResultCacheKey, MissesOnAnyFieldChange)
+{
+    const std::string base = mutatedKey([](RunSpec&) {});
+
+    EXPECT_NE(mutatedKey([](RunSpec& s) { s.seed = 2; }), base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) {
+                  s.design = DesignKind::Unified;
+              }),
+              base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) { s.activeSetSize = 4; }), base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) {
+                  s.cachePolicy = WritePolicy::WriteBack;
+              }),
+              base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) { s.rfHierarchy = false; }),
+              base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) { s.conflictPenalties = false; }),
+              base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) { s.aggressiveUnified = true; }),
+              base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) { s.regsOverride = 16; }), base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) { s.threadLimit = 256; }), base);
+    EXPECT_NE(mutatedKey([](RunSpec& s) {
+                  s.partition = MemoryPartition{128_KB, 128_KB, 128_KB};
+              }),
+              base);
+
+    // Benchmark identity: name and scale are part of the key.
+    std::unique_ptr<KernelModel> kernel = createBenchmark("bfs", kScale);
+    EXPECT_NE(resultCacheKey("nn", kScale, kernel->params(), RunSpec{}),
+              base);
+    EXPECT_NE(resultCacheKey("bfs", 0.07, kernel->params(), RunSpec{}),
+              base);
+}
+
+TEST(ResultCacheKey, FermiLikeAndPartitionedNeverCollide)
+{
+    // Both designs resolve through allocatePartitioned with the same
+    // partition, but the SimResult carries the design tag, so the raw
+    // spec design must stay in the key.
+    const std::string part = mutatedKey([](RunSpec& s) {
+        s.design = DesignKind::Partitioned;
+    });
+    const std::string fermi = mutatedKey([](RunSpec& s) {
+        s.design = DesignKind::FermiLike;
+    });
+    EXPECT_NE(part, fermi);
+}
+
+TEST(ResultCacheKey, SpecsResolvingToSameAllocationShareAKey)
+{
+    // threadLimit 0 means "kMaxThreadsPerSm"; both resolve to the same
+    // launch, so the autotuner's explicit-limit probes reuse figure
+    // sweep entries instead of re-simulating.
+    const std::string implicit =
+        mutatedKey([](RunSpec& s) { s.threadLimit = 0; });
+    const std::string explicitMax = mutatedKey(
+        [](RunSpec& s) { s.threadLimit = kMaxThreadsPerSm; });
+    EXPECT_EQ(implicit, explicitMax);
+}
+
+// ---- Cache behavior (local instance: no global state involved) --------
+
+SimResult
+dummyResult(u64 cycles)
+{
+    SimResult r;
+    r.sm.cycles = cycles;
+    return r;
+}
+
+/** "k<i>" built with += (GCC 12's -O2 restrict FP flags operator+). */
+std::string
+keyName(u64 i)
+{
+    std::string s = "k";
+    s += std::to_string(i);
+    return s;
+}
+
+TEST(ResultCacheLru, InsertLookupAndCounters)
+{
+    SimResultCache cache;
+    EXPECT_FALSE(cache.lookup("a").has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.insert("a", dummyResult(42));
+    std::optional<SimResult> hit = cache.lookup("a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->sm.cycles, 42u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup("a").has_value());
+}
+
+TEST(ResultCacheLru, EvictionKeepsSizeBounded)
+{
+    SimResultCache cache(4);
+    for (u64 i = 0; i < 10; ++i)
+        cache.insert(keyName(i), dummyResult(i));
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.evictions(), 6u);
+
+    // Oldest entries were evicted, newest survive.
+    EXPECT_FALSE(cache.lookup("k0").has_value());
+    EXPECT_FALSE(cache.lookup("k5").has_value());
+    EXPECT_TRUE(cache.lookup("k6").has_value());
+    EXPECT_TRUE(cache.lookup("k9").has_value());
+}
+
+TEST(ResultCacheLru, LookupRefreshesRecency)
+{
+    SimResultCache cache(3);
+    cache.insert("a", dummyResult(1));
+    cache.insert("b", dummyResult(2));
+    cache.insert("c", dummyResult(3));
+    EXPECT_TRUE(cache.lookup("a").has_value()); // a is now most recent
+    cache.insert("d", dummyResult(4));          // evicts b, not a
+    EXPECT_TRUE(cache.lookup("a").has_value());
+    EXPECT_FALSE(cache.lookup("b").has_value());
+    EXPECT_TRUE(cache.lookup("c").has_value());
+    EXPECT_TRUE(cache.lookup("d").has_value());
+}
+
+TEST(ResultCacheLru, ShrinkingCapacityEvictsImmediately)
+{
+    SimResultCache cache(8);
+    for (u64 i = 0; i < 8; ++i)
+        cache.insert(keyName(i), dummyResult(i));
+    cache.setCapacity(2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.lookup("k7").has_value());
+    EXPECT_TRUE(cache.lookup("k6").has_value());
+}
+
+TEST(ResultCacheLru, DisabledCacheIsInert)
+{
+    SimResultCache cache;
+    cache.setEnabled(false);
+    u64 misses = cache.misses();
+    cache.insert("a", dummyResult(1));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup("a").has_value());
+    EXPECT_EQ(cache.misses(), misses) << "disabled lookups don't count";
+    cache.setEnabled(true);
+    cache.insert("a", dummyResult(1));
+    EXPECT_TRUE(cache.lookup("a").has_value());
+}
+
+// ---- Integration with simulateBenchmark (global cache) ----------------
+
+/**
+ * Forces the global cache on for the test body (restoring the prior
+ * state afterwards) so the suite still passes under
+ * UNIMEM_RESULT_CACHE=0, where only these memoization-specific tests
+ * would otherwise be vacuous.
+ */
+class ResultCacheMemo : public ::testing::Test
+{
+  protected:
+    ResultCacheMemo() : prev_(resultCache().enabled())
+    {
+        resultCache().setEnabled(true);
+    }
+
+    ~ResultCacheMemo() override { resultCache().setEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
+TEST_F(ResultCacheMemo, SecondSimulationHitsAndIsBitIdentical)
+{
+    resultCache().clear();
+    ASSERT_TRUE(resultCache().enabled());
+
+    RunSpec spec;
+    spec.design = DesignKind::Unified;
+    u64 hits0 = resultCache().hits();
+    u64 misses0 = resultCache().misses();
+
+    SimResult first = simulateBenchmark("needle", kScale, spec);
+    EXPECT_EQ(resultCache().misses(), misses0 + 1);
+    SimResult second = simulateBenchmark("needle", kScale, spec);
+    EXPECT_EQ(resultCache().hits(), hits0 + 1);
+    EXPECT_TRUE(identicalResults(first, second));
+
+    // A cached hit must be indistinguishable from a real re-simulation.
+    ScopedResultCacheDisable off;
+    SimResult recomputed = simulateBenchmark("needle", kScale, spec);
+    EXPECT_TRUE(identicalResults(first, recomputed));
+}
+
+TEST_F(ResultCacheMemo, AnyFieldChangeMisses)
+{
+    resultCache().clear();
+    simulateBenchmark("bfs", kScale, RunSpec{});
+    u64 hits0 = resultCache().hits();
+
+    RunSpec seed;
+    seed.seed = 7;
+    simulateBenchmark("bfs", kScale, seed);
+    RunSpec active;
+    active.activeSetSize = 6;
+    simulateBenchmark("bfs", kScale, active);
+    simulateBenchmark("bfs", 0.04, RunSpec{});
+    simulateBenchmark("nn", kScale, RunSpec{});
+    EXPECT_EQ(resultCache().hits(), hits0)
+        << "changed specs must not hit the default-spec entry";
+}
+
+TEST_F(ResultCacheMemo, ScopedDisableRestoresPriorState)
+{
+    ASSERT_TRUE(resultCache().enabled());
+    {
+        ScopedResultCacheDisable off;
+        EXPECT_FALSE(resultCache().enabled());
+        {
+            ScopedResultCacheDisable nested;
+            EXPECT_FALSE(resultCache().enabled());
+        }
+        EXPECT_FALSE(resultCache().enabled());
+    }
+    EXPECT_TRUE(resultCache().enabled());
+}
+
+TEST_F(ResultCacheMemo, AutotunerReusesFigureSweepEntries)
+{
+    resultCache().clear();
+    runUnified("dgemm", kScale, 384_KB); // a fig8-style unified point
+    u64 hits0 = resultCache().hits();
+    SimResult tuned = runUnifiedAutotuned("dgemm", kScale, 384_KB);
+    EXPECT_GT(resultCache().hits(), hits0)
+        << "the autotuner's max-thread probe resolves to the allocation "
+           "runUnified already simulated and must hit";
+
+    ScopedResultCacheDisable off;
+    SimResult reference = runUnifiedAutotuned("dgemm", kScale, 384_KB);
+    EXPECT_TRUE(identicalResults(tuned, reference));
+}
+
+// ---- Sweep parity: memoization must never change results --------------
+
+TEST_F(ResultCacheMemo, SweepResultsBitIdenticalWithCacheOnAndOff)
+{
+    std::vector<SweepJob> jobs;
+    for (const char* name : {"vectoradd", "needle", "dgemm", "bfs"}) {
+        jobs.push_back(makeSweepJob(std::string(name) + "/base", name,
+                                    kScale, RunSpec{}));
+        RunSpec uni;
+        uni.design = DesignKind::Unified;
+        jobs.push_back(makeSweepJob(std::string(name) + "/uni", name,
+                                    kScale, uni));
+    }
+
+    std::vector<SimResult> reference;
+    {
+        ScopedResultCacheDisable off;
+        reference = runSweep(jobs, 1);
+    }
+
+    resultCache().clear();
+    for (u32 workers : {1u, 2u, 8u}) {
+        SweepStats stats;
+        std::vector<SimResult> cached = runSweep(jobs, workers, &stats);
+        ASSERT_EQ(cached.size(), reference.size());
+        for (size_t i = 0; i < cached.size(); ++i)
+            EXPECT_TRUE(identicalResults(cached[i], reference[i]))
+                << jobs[i].label << " with " << workers
+                << " workers and memoization on";
+        if (workers > 1) {
+            EXPECT_EQ(stats.memoHits, jobs.size())
+                << "the warm cache should satisfy every job";
+        }
+    }
+}
+
+TEST_F(ResultCacheMemo, SweepStatsSurfaceMemoCounters)
+{
+    resultCache().clear();
+    std::vector<SweepJob> jobs{
+        makeSweepJob("a", "vectoradd", kScale, RunSpec{}),
+        makeSweepJob("b", "vectoradd", kScale, RunSpec{})};
+
+    SweepStats cold;
+    runSweep(jobs, 1, &cold);
+    EXPECT_EQ(cold.memoHits, 1u) << "job b duplicates job a";
+    EXPECT_EQ(cold.memoMisses, 1u);
+
+    SweepStats warm;
+    runSweep(jobs, 1, &warm);
+    EXPECT_EQ(warm.memoHits, 2u);
+    EXPECT_EQ(warm.memoMisses, 0u);
+    EXPECT_NE(warm.summary().find("memo 2 hits / 0 misses"),
+              std::string::npos)
+        << warm.summary();
+}
+
+} // namespace
+} // namespace unimem

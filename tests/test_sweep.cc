@@ -10,6 +10,12 @@
  * Golden files live in tests/golden/; regenerate with
  *   UNIMEM_UPDATE_GOLDEN=1 ./test_sweep --gtest_filter='GoldenStats.*'
  * and commit the diff.
+ *
+ * Tests whose strength depends on actually re-running the simulator
+ * (serial-vs-parallel equality, seed plumbing, nested sweeps) disable
+ * the result cache with ScopedResultCacheDisable; the golden-stats
+ * snapshot runs with the cache at its default so both modes are
+ * exercised in one suite (test_result_cache covers on/off parity).
  */
 
 #include <gtest/gtest.h>
@@ -24,6 +30,7 @@
 
 #include "kernels/registry.hh"
 #include "sim/experiments.hh"
+#include "sim/result_cache.hh"
 #include "sim/sweep.hh"
 
 namespace unimem {
@@ -52,6 +59,9 @@ fig8Jobs(double scale)
 
 TEST(SweepGoldenBaseline, ParallelMatchesSerialAt_1_2_8_Workers)
 {
+    // Memoization off: every worker count must really re-simulate for
+    // the parallel-equals-serial comparison to mean anything.
+    ScopedResultCacheDisable noCache;
     std::vector<SweepJob> jobs = fig8Jobs(kScale);
     ASSERT_EQ(jobs.size(), 2 * allBenchmarks().size());
 
@@ -102,6 +112,8 @@ TEST(SweepGoldenBaseline, ParallelMatchesSerialAt_1_2_8_Workers)
 
 TEST(SweepDeterminism, SameRunSpecSameSimResult)
 {
+    // A cached copy would make this vacuous; force re-simulation.
+    ScopedResultCacheDisable noCache;
     for (const char* name : {"vectoradd", "needle", "dgemm", "bfs"}) {
         for (DesignKind design :
              {DesignKind::Partitioned, DesignKind::Unified}) {
@@ -119,6 +131,7 @@ TEST(SweepDeterminism, DifferentSeedsAreIndependentRuns)
 {
     // Seeds flow all the way to the trace generators: a and b must not
     // share RNG state (identical twice, not coincidentally equal once).
+    ScopedResultCacheDisable noCache;
     RunSpec s1;
     s1.seed = 1;
     RunSpec s2;
@@ -251,6 +264,8 @@ TEST(SweepStress, EmptyAndSingleJobBatches)
 
 TEST(SweepStress, NestedSweepRunsSeriallyInsideWorker)
 {
+    // The nested runFermiBest calls must actually sweep, not hit.
+    ScopedResultCacheDisable noCache;
     EXPECT_FALSE(SweepRunner::inSweepWorker());
     std::vector<SweepJob> outer;
     for (int i = 0; i < 4; ++i) {
