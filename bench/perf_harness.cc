@@ -23,12 +23,26 @@
  *        --out=<path>   JSON output path (default BENCH_results.json)
  *        --no-cache     disable the result cache for the sweep phases
  *        --smoke        CI quick mode (scale 0.05, 1 repetition)
+ *        --gate=<path>  regression gate: compare this run's
+ *                       kernel_sim_cycles_per_s against the baseline
+ *                       JSON at <path> and exit non-zero if it dropped
+ *                       by more than 25%. Rates are comparable across
+ *                       --scale settings (unlike phase totals), so the
+ *                       CI smoke run can gate against the committed
+ *                       full-scale BENCH_results.json. Override with
+ *                       UNIMEM_BENCH_NO_GATE=1 (e.g. on a loaded or
+ *                       slower machine). The baseline is read before
+ *                       the run, so --gate and --out may name the same
+ *                       file.
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -146,6 +160,23 @@ appendPhaseJson(std::ostringstream& os, const PhaseResult& r)
        << ", \"memo_misses\": " << r.memoMisses << "}";
 }
 
+/**
+ * Pull one numeric field out of a bench JSON blob. The harness writes
+ * flat numeric fields with a fixed "key": value layout, so a targeted
+ * scan beats dragging in a JSON parser dependency.
+ */
+bool
+extractJsonNumber(const std::string& text, const std::string& key,
+                  double* out)
+{
+    std::string needle = "\"" + key + "\": ";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    return std::sscanf(text.c_str() + pos + needle.size(), "%lf", out) ==
+           1;
+}
+
 } // namespace
 
 int
@@ -159,6 +190,24 @@ main(int argc, char** argv)
         static_cast<int>(args.getInt("repeat", smoke ? 1 : 3));
     std::string kernelName = args.getString("kernel", "dgemm");
     std::string outPath = args.getString("out", "BENCH_results.json");
+    std::string gatePath = args.getString("gate", "");
+
+    // Snapshot the gate baseline before the run so --gate may point at
+    // the very file --out is about to overwrite.
+    double gateBaseline = 0.0;
+    if (!gatePath.empty()) {
+        std::ifstream gin(gatePath);
+        std::string text((std::istreambuf_iterator<char>(gin)),
+                         std::istreambuf_iterator<char>());
+        if (!gin.good() && text.empty())
+            fatal("perf_harness: cannot read --gate=%s",
+                  gatePath.c_str());
+        if (!extractJsonNumber(text, "kernel_sim_cycles_per_s",
+                               &gateBaseline) ||
+            gateBaseline <= 0.0)
+            fatal("perf_harness: no kernel_sim_cycles_per_s in %s",
+                  gatePath.c_str());
+    }
 #if UNIMEM_HAVE_RESULT_CACHE
     if (args.getBool("no-cache", false))
         resultCache().setEnabled(false);
@@ -240,5 +289,24 @@ main(int argc, char** argv)
         fatal("perf_harness: cannot write %s", outPath.c_str());
     out << os.str();
     std::cout << "wrote " << outPath << "\n";
+
+    if (!gatePath.empty()) {
+        double ratio = kCyclesPerSec / gateBaseline;
+        std::cout << "gate: kernel_sim_cycles_per_s " << kCyclesPerSec
+                  << " vs baseline " << gateBaseline << " ("
+                  << gatePath << ") -> " << ratio << "x\n";
+        if (ratio < 0.75) {
+            const char* no_gate = std::getenv("UNIMEM_BENCH_NO_GATE");
+            if (no_gate != nullptr && no_gate[0] == '1') {
+                std::cout << "gate: regression > 25% but "
+                             "UNIMEM_BENCH_NO_GATE=1, passing\n";
+            } else {
+                std::cerr << "gate: FAIL - simulator throughput "
+                             "regressed by more than 25% (set "
+                             "UNIMEM_BENCH_NO_GATE=1 to override)\n";
+                return 1;
+            }
+        }
+    }
     return 0;
 }

@@ -6,13 +6,19 @@
 # Modes:
 #   scripts/bench.sh                 full run (scale 0.1, 3 repetitions)
 #   scripts/bench.sh --smoke         CI quick mode (scale 0.05, 1 rep)
-#   scripts/bench.sh --compare REF   also build REF in a throwaway git
+#   scripts/bench.sh --compare=REF   also build REF in a throwaway git
 #                                    worktree (this commit's harness is
 #                                    copied in, so both sides time the
-#                                    identical fig8+autotune composite)
-#                                    and report new-vs-REF speedup
-# Extra flags (--scale=, --jobs=, --repeat=, --kernel=, --no-cache) are
-# forwarded to perf_harness. The build tree is .gitignore'd.
+#                                    identical composite and kernel
+#                                    phase on the same machine) and
+#                                    report new-vs-REF speedups
+# Extra flags (--scale=, --jobs=, --repeat=, --kernel=, --no-cache,
+# --gate=) are forwarded to perf_harness. The build tree is
+# .gitignore'd.
+#
+# Every run also appends one line to BENCH_history.jsonl (commit, date,
+# composite seconds, per-phase best seconds, kernel throughput) so the
+# tracked numbers accumulate a per-commit trail.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +46,30 @@ echo "=== bench: running perf_harness ==="
 ./build-bench/bench/perf_harness --out=BENCH_results.json \
     ${harness_flags[@]+"${harness_flags[@]}"}
 
+# One JSON line per run: enough to plot the trend without digging
+# through CI artifacts. jq-free extraction relies on the harness's
+# fixed key layout.
+json_num() { # json_num <file> <key>
+    sed -n "s/.*\"$2\": \([0-9.eE+-]*\).*/\1/p" "$1" | head -n1
+}
+phase_best() { # phase_best <file> <phase>
+    sed -n "s/.*\"name\": \"$2\".*\"best_s\": \([0-9.eE+-]*\).*/\1/p" \
+        "$1" | head -n1
+}
+{
+    printf '{"commit": "%s", "date": "%s"' \
+        "$(git describe --always --dirty 2>/dev/null || echo unknown)" \
+        "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf ', "composite_s": %s' "$(json_num BENCH_results.json composite_s)"
+    printf ', "phase_best_s": {"fig8": %s, "autotune": %s, "kernel": %s}' \
+        "$(phase_best BENCH_results.json fig8)" \
+        "$(phase_best BENCH_results.json autotune)" \
+        "$(phase_best BENCH_results.json kernel)"
+    printf ', "kernel_sim_cycles_per_s": %s}\n' \
+        "$(json_num BENCH_results.json kernel_sim_cycles_per_s)"
+} >> BENCH_history.jsonl
+echo "=== bench: appended BENCH_history.jsonl ==="
+
 if [[ -n "$compare_ref" ]]; then
     worktree=$(mktemp -d /tmp/unimem-bench-ref.XXXXXX)
     trap 'git worktree remove --force "$worktree" >/dev/null 2>&1 || true
@@ -62,14 +92,18 @@ if [[ -n "$compare_ref" ]]; then
         --out="$worktree/BENCH_ref.json" \
         ${harness_flags[@]+"${harness_flags[@]}"})
 
-    new_s=$(sed -n 's/.*"composite_s": \([0-9.eE+-]*\).*/\1/p' \
-        BENCH_results.json)
-    ref_s=$(sed -n 's/.*"composite_s": \([0-9.eE+-]*\).*/\1/p' \
-        "$worktree/BENCH_ref.json")
+    new_s=$(json_num BENCH_results.json composite_s)
+    ref_s=$(json_num "$worktree/BENCH_ref.json" composite_s)
     awk -v new="$new_s" -v ref="$ref_s" -v refname="$compare_ref" \
         'BEGIN { printf "=== bench: composite %.3fs vs %.3fs at %s " \
                         "-> %.2fx speedup ===\n", \
                  new, ref, refname, ref / new }'
+    new_k=$(json_num BENCH_results.json kernel_sim_cycles_per_s)
+    ref_k=$(json_num "$worktree/BENCH_ref.json" kernel_sim_cycles_per_s)
+    awk -v new="$new_k" -v ref="$ref_k" -v refname="$compare_ref" \
+        'BEGIN { printf "=== bench: kernel %.3g vs %.3g sim-cycles/s " \
+                        "at %s -> %.2fx speedup ===\n", \
+                 new, ref, refname, new / ref }'
 fi
 
 echo "=== bench: wrote BENCH_results.json ==="

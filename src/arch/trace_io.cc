@@ -155,6 +155,8 @@ TraceFileKernel::TraceFileKernel(std::istream& is)
             in.accessBytes = static_cast<u8>(bytes);
             current->push_back(in);
             last_mem = isMemOp(in.op) ? &current->back() : nullptr;
+            if (last_mem != nullptr)
+                last_mem->addr.fill(0); // 'a' lines set active lanes only
         } else if (kw == "a") {
             if (last_mem == nullptr)
                 fatal("trace: address line without a memory op");

@@ -18,6 +18,15 @@ namespace unimem {
 /** One dynamic warp instruction. */
 struct WarpInstr
 {
+    /**
+     * Deliberately leaves @c addr uninitialized: trace generation emits
+     * hundreds of thousands of instructions per run, and a 256-byte
+     * clear per instruction dominates the emission cost. Every producer
+     * of memory ops writes all 32 lanes (or zero-fills explicitly);
+     * addresses of non-memory ops are never read.
+     */
+    WarpInstr() {}
+
     Opcode op = Opcode::IntAlu;
 
     /** Destination register, or kInvalidReg. */
@@ -34,7 +43,7 @@ struct WarpInstr
     u32 activeMask = 0xffffffffu;
 
     /** Per-lane byte addresses, valid for memory ops on active lanes. */
-    std::array<Addr, kWarpWidth> addr{};
+    std::array<Addr, kWarpWidth> addr;
 
     bool hasDst() const { return dst != kInvalidReg; }
 
@@ -47,7 +56,11 @@ struct WarpInstr
     bool laneActive(u32 lane) const { return (activeMask >> lane) & 1u; }
 };
 
-/** Convenience factories used by the kernel models and tests. */
+/**
+ * Convenience factories used by the kernel models and tests. All of
+ * them fully initialize the instruction (including the address vector),
+ * so factory-built programs behave exactly like value-initialized ones.
+ */
 namespace instr {
 
 WarpInstr
@@ -68,6 +81,7 @@ inline WarpInstr
 instr::alu(RegId dst, RegId s0, RegId s1, RegId s2, bool fp)
 {
     WarpInstr in;
+    in.addr.fill(0);
     in.op = fp ? Opcode::FpAlu : Opcode::IntAlu;
     in.dst = dst;
     u8 n = 0;
@@ -82,6 +96,7 @@ inline WarpInstr
 instr::sfu(RegId dst, RegId s0)
 {
     WarpInstr in;
+    in.addr.fill(0);
     in.op = Opcode::Sfu;
     in.dst = dst;
     in.src[0] = s0;
@@ -93,6 +108,7 @@ inline WarpInstr
 instr::bar()
 {
     WarpInstr in;
+    in.addr.fill(0);
     in.op = Opcode::Bar;
     return in;
 }
@@ -101,6 +117,7 @@ inline WarpInstr
 instr::mem(Opcode op, RegId dstOrData, RegId addrReg, u32 activeMask)
 {
     WarpInstr in;
+    in.addr.fill(0); // callers often set only a few lanes
     in.op = op;
     in.activeMask = activeMask;
     if (isLoad(op)) {

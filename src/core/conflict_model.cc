@@ -16,7 +16,9 @@ class DistinctSet
     void
     add(Addr v)
     {
-        for (u32 i = 0; i < size_; ++i)
+        // Scan newest-first: lane-order address runs put duplicates
+        // next to the most recent insertion.
+        for (u32 i = size_; i-- > 0;)
             if (vals_[i] == v)
                 return;
         if (size_ < vals_.size())
@@ -27,7 +29,7 @@ class DistinctSet
     Addr operator[](u32 i) const { return vals_[i]; }
 
   private:
-    std::array<Addr, kWarpWidth> vals_{};
+    std::array<Addr, kWarpWidth> vals_; // only [0, size_) is live
     u32 size_ = 0;
 };
 

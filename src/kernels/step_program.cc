@@ -126,14 +126,25 @@ StepProgram::barrier()
     append(Opcode::Bar, kInvalidReg, kFullMask);
 }
 
-LaneAddrs
-StepProgram::strideAddrs(Addr base, i64 stride) const
+namespace {
+
+/** Fill all 32 lanes with base + lane * stride, in place. */
+void
+fillStride(LaneAddrs& a, Addr base, i64 stride)
 {
-    LaneAddrs a{};
     for (u32 lane = 0; lane < kWarpWidth; ++lane)
         a[lane] = base + static_cast<Addr>(static_cast<i64>(lane) * stride);
-    return a;
 }
+
+/** Fill all 32 lanes with src[lane] + offset, in place. */
+void
+fillOffset(LaneAddrs& a, const LaneAddrs& src, Addr offset)
+{
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        a[lane] = src[lane] + offset;
+}
+
+} // namespace
 
 RegId
 StepProgram::emitAddrCompute()
@@ -151,8 +162,8 @@ StepProgram::emitAddrCompute()
     return d;
 }
 
-RegId
-StepProgram::emitLoad(Opcode op, const LaneAddrs& addrs, u8 bytes, u32 mask)
+WarpInstr&
+StepProgram::emitLoad(Opcode op, u8 bytes, u32 mask, RegId& dstOut)
 {
     RegId addr_reg = emitAddrCompute();
     RegId d = nextReg();
@@ -160,13 +171,12 @@ StepProgram::emitLoad(Opcode op, const LaneAddrs& addrs, u8 bytes, u32 mask)
     in.src[0] = addr_reg;
     in.numSrc = 1;
     in.accessBytes = bytes;
-    in.addr = addrs;
-    return d;
+    dstOut = d;
+    return in; // caller fills in.addr in place
 }
 
-void
-StepProgram::emitStore(Opcode op, const LaneAddrs& addrs, u8 bytes,
-                       u32 mask)
+WarpInstr&
+StepProgram::emitStore(Opcode op, u8 bytes, u32 mask)
 {
     RegId data_reg = last_;
     RegId addr_reg = emitAddrCompute();
@@ -175,72 +185,77 @@ StepProgram::emitStore(Opcode op, const LaneAddrs& addrs, u8 bytes,
     in.src[1] = avoidBankOf(data_reg, addr_reg); // store data
     in.numSrc = 2;
     in.accessBytes = bytes;
-    in.addr = addrs;
+    return in; // caller fills in.addr in place
 }
 
 RegId
 StepProgram::ldGlobal(Addr base, i64 laneStride, u8 bytes, u32 mask)
 {
-    return emitLoad(Opcode::LdGlobal, strideAddrs(base, laneStride), bytes,
-                    mask);
+    RegId d;
+    fillStride(emitLoad(Opcode::LdGlobal, bytes, mask, d).addr, base,
+               laneStride);
+    return d;
 }
 
 RegId
 StepProgram::ldGlobalIdx(const LaneAddrs& addrs, u8 bytes, u32 mask)
 {
-    return emitLoad(Opcode::LdGlobal, addrs, bytes, mask);
+    RegId d;
+    fillOffset(emitLoad(Opcode::LdGlobal, bytes, mask, d).addr, addrs, 0);
+    return d;
 }
 
 void
 StepProgram::stGlobal(Addr base, i64 laneStride, u8 bytes, u32 mask)
 {
-    emitStore(Opcode::StGlobal, strideAddrs(base, laneStride), bytes, mask);
+    fillStride(emitStore(Opcode::StGlobal, bytes, mask).addr, base,
+               laneStride);
 }
 
 void
 StepProgram::stGlobalIdx(const LaneAddrs& addrs, u8 bytes, u32 mask)
 {
-    emitStore(Opcode::StGlobal, addrs, bytes, mask);
+    fillOffset(emitStore(Opcode::StGlobal, bytes, mask).addr, addrs, 0);
 }
 
 RegId
 StepProgram::ldShared(Addr ctaOffset, i64 laneStride, u8 bytes, u32 mask)
 {
-    return emitLoad(Opcode::LdShared,
-                    strideAddrs(sharedBase_ + ctaOffset, laneStride), bytes,
-                    mask);
+    RegId d;
+    fillStride(emitLoad(Opcode::LdShared, bytes, mask, d).addr,
+               sharedBase_ + ctaOffset, laneStride);
+    return d;
 }
 
 RegId
 StepProgram::ldSharedIdx(const LaneAddrs& ctaOffsets, u8 bytes, u32 mask)
 {
-    LaneAddrs a = ctaOffsets;
-    for (Addr& v : a)
-        v += sharedBase_;
-    return emitLoad(Opcode::LdShared, a, bytes, mask);
+    RegId d;
+    fillOffset(emitLoad(Opcode::LdShared, bytes, mask, d).addr, ctaOffsets,
+               sharedBase_);
+    return d;
 }
 
 void
 StepProgram::stShared(Addr ctaOffset, i64 laneStride, u8 bytes, u32 mask)
 {
-    emitStore(Opcode::StShared,
-              strideAddrs(sharedBase_ + ctaOffset, laneStride), bytes,
-              mask);
+    fillStride(emitStore(Opcode::StShared, bytes, mask).addr,
+               sharedBase_ + ctaOffset, laneStride);
 }
 
 void
 StepProgram::stSharedIdx(const LaneAddrs& ctaOffsets, u8 bytes, u32 mask)
 {
-    LaneAddrs a = ctaOffsets;
-    for (Addr& v : a)
-        v += sharedBase_;
-    emitStore(Opcode::StShared, a, bytes, mask);
+    fillOffset(emitStore(Opcode::StShared, bytes, mask).addr, ctaOffsets,
+               sharedBase_);
 }
 
 RegId
 StepProgram::texFetch(const LaneAddrs& addrs, u8 bytes, u32 mask)
 {
-    return emitLoad(Opcode::Tex, addrs, bytes, mask);
+    RegId d;
+    fillOffset(emitLoad(Opcode::Tex, bytes, mask, d).addr, addrs, 0);
+    return d;
 }
 
 } // namespace unimem

@@ -135,9 +135,14 @@ class StepProgram : public WarpProgram
     WarpInstr& append(Opcode op, RegId dst, u32 mask);
     RegId avoidBankOf(RegId r, RegId other);
     RegId emitAddrCompute();
-    RegId emitLoad(Opcode op, const LaneAddrs& addrs, u8 bytes, u32 mask);
-    void emitStore(Opcode op, const LaneAddrs& addrs, u8 bytes, u32 mask);
-    LaneAddrs strideAddrs(Addr base, i64 stride) const;
+
+    /**
+     * Emit the address compute + access skeleton and return the
+     * instruction so the caller can fill its lane addresses in place
+     * (avoids staging the 256-byte address vector through a temporary).
+     */
+    WarpInstr& emitLoad(Opcode op, u8 bytes, u32 mask, RegId& dstOut);
+    WarpInstr& emitStore(Opcode op, u8 bytes, u32 mask);
 
     WarpCtx ctx_;
     u32 numRegs_;

@@ -1,0 +1,17 @@
+#include "mem/footprint_cache.hh"
+
+#include <cstdlib>
+
+namespace unimem {
+
+bool
+footprintCacheEnabledByEnv()
+{
+    static const bool on = [] {
+        const char* v = std::getenv("UNIMEM_FOOTPRINT_CACHE");
+        return v == nullptr || v[0] != '0';
+    }();
+    return on;
+}
+
+} // namespace unimem

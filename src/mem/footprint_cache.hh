@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Per-static-instruction footprint cache (DESIGN.md Section 9).
+ *
+ * The deterministic kernel models emit repeating address patterns: a
+ * dgemm warp re-reads the same shared-memory tile addresses every
+ * blocking step, and compute instructions cycle through a handful of
+ * operand-bank layouts. The bank-conflict and coalescing models are
+ * pure functions of the instruction's footprint — (opcode, active mask,
+ * access size, per-lane addresses, operand-bank signature) — so their
+ * results can be memoized on that exact key and replayed for later
+ * dynamic instances. Input-dependent patterns simply miss and fall back
+ * to the full computation; a hit is bit-identical by construction
+ * because the key captures every input the models read.
+ *
+ * Two structures, both per-SM (thread-confined, no locks):
+ *  - a 256-entry direct table for instructions that touch no data banks
+ *    (ALU/SFU/texture), whose outcome depends only on the 8-bit operand
+ *    bank signature;
+ *  - a direct-mapped, overwrite-on-collision cache for data-bank ops,
+ *    keyed on the full footprint, holding the conflict outcome plus up
+ *    to four coalesced lines for replay in the global-memory path.
+ *
+ * The class is templated on the outcome type so this header does not
+ * depend on the core conflict model (core already links against mem).
+ * Disable with UNIMEM_FOOTPRINT_CACHE=0 for A/B timing comparisons.
+ */
+
+#ifndef UNIMEM_MEM_FOOTPRINT_CACHE_HH
+#define UNIMEM_MEM_FOOTPRINT_CACHE_HH
+
+#include <array>
+#include <vector>
+
+#include "arch/warp_instr.hh"
+#include "mem/coalescer.hh"
+
+namespace unimem {
+
+/** Process-wide UNIMEM_FOOTPRINT_CACHE knob (default on), read once. */
+bool footprintCacheEnabledByEnv();
+
+/** Hit/miss counters (diagnostics only; never part of SmStats). */
+struct FootprintStats
+{
+    u64 computeHits = 0;
+    u64 computeMisses = 0;
+    u64 memHits = 0;
+    u64 memMisses = 0;
+    u64 lineReplays = 0;
+    u64 lineRecomputes = 0;
+};
+
+/**
+ * Pack up to three cluster-local operand bank ids (0..3) plus their
+ * count into one byte. Equal signatures imply identical bank-count
+ * vectors, which is all the conflict model reads for operand conflicts.
+ */
+inline u8
+mrfSignature(const u8* mrfBanks, u32 numMrfReads)
+{
+    u8 sig = static_cast<u8>(numMrfReads << 6);
+    for (u32 i = 0; i < numMrfReads; ++i)
+        sig |= static_cast<u8>((mrfBanks[i] & 3u) << (2 * i));
+    return sig;
+}
+
+template <typename Outcome>
+class FootprintCache
+{
+  public:
+    static constexpr u32 kMemSlots = 8192;
+    static constexpr u8 kMaxInlineLines = 4;
+    static constexpr u8 kLinesUnknown = 0xff;  // not coalesced yet
+    static constexpr u8 kLinesOverflow = 0xfe; // > kMaxInlineLines
+
+    /** One data-bank-op entry: exact key, outcome, replayable lines. */
+    struct MemEntry
+    {
+        std::array<Addr, kWarpWidth> addr{};
+        u32 activeMask = 0;
+        Opcode op = Opcode::IntAlu;
+        u8 accessBytes = 0;
+        u8 sig = 0;
+        u8 numLines = kLinesUnknown;
+        bool valid = false;
+        Outcome outcome{};
+        std::array<CoalescedAccess, kMaxInlineLines> lines{};
+    };
+
+    FootprintCache() : enabled_(footprintCacheEnabledByEnv()) {}
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+    const FootprintStats& stats() const { return stats_; }
+
+    /** Lookup for ops that touch no data banks. nullptr on miss. */
+    const Outcome*
+    findCompute(u8 sig)
+    {
+        const ComputeEntry& e = compute_[sig];
+        if (e.valid) {
+            ++stats_.computeHits;
+            return &e.outcome;
+        }
+        ++stats_.computeMisses;
+        return nullptr;
+    }
+
+    void
+    insertCompute(u8 sig, const Outcome& outcome)
+    {
+        compute_[sig].outcome = outcome;
+        compute_[sig].valid = true;
+    }
+
+    /** Verified lookup for data-bank ops. nullptr on miss. */
+    MemEntry*
+    findMem(const WarpInstr& in, u8 sig)
+    {
+        MemEntry& e = slotFor(in, sig);
+        if (e.valid && e.op == in.op && e.activeMask == in.activeMask &&
+            e.accessBytes == in.accessBytes && e.sig == sig &&
+            e.addr == in.addr) {
+            ++stats_.memHits;
+            return &e;
+        }
+        ++stats_.memMisses;
+        return nullptr;
+    }
+
+    /**
+     * Claim (overwrite) the slot for @p in and fill its key. The caller
+     * stores the freshly computed outcome; lines stay kLinesUnknown
+     * until the global-memory path coalesces them.
+     */
+    MemEntry&
+    insertMem(const WarpInstr& in, u8 sig)
+    {
+        MemEntry& e = slotFor(in, sig);
+        e.addr = in.addr;
+        e.activeMask = in.activeMask;
+        e.op = in.op;
+        e.accessBytes = in.accessBytes;
+        e.sig = sig;
+        e.numLines = kLinesUnknown;
+        e.valid = true;
+        return e;
+    }
+
+    void noteLineReplay() { ++stats_.lineReplays; }
+    void noteLineRecompute() { ++stats_.lineRecomputes; }
+
+  private:
+    struct ComputeEntry
+    {
+        Outcome outcome{};
+        bool valid = false;
+    };
+
+    MemEntry&
+    slotFor(const WarpInstr& in, u8 sig)
+    {
+        // The slot array is sized for hot sets of a few hundred live
+        // static instructions; allocate it only when a data-bank op
+        // actually shows up (pure-compute or disabled runs stay lean).
+        if (mem_.empty())
+            mem_.resize(kMemSlots);
+        u64 h = 14695981039346656037ull;
+        constexpr u64 kPrime = 1099511628211ull;
+        for (Addr a : in.addr)
+            h = (h ^ a) * kPrime;
+        h = (h ^ in.activeMask) * kPrime;
+        h = (h ^ static_cast<u64>(in.op)) * kPrime;
+        h = (h ^ in.accessBytes) * kPrime;
+        h = (h ^ sig) * kPrime;
+        // XOR and multiply are closed mod 2^k, so without a finalizer
+        // the slot index would only see the low bits of the addresses —
+        // and strided kernel footprints collapse onto a handful of
+        // slots. Fold the high bits down first (Murmur3-style).
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+        return mem_[h & (kMemSlots - 1)];
+    }
+
+    std::array<ComputeEntry, 256> compute_{};
+    std::vector<MemEntry> mem_;
+    bool enabled_;
+    FootprintStats stats_;
+};
+
+} // namespace unimem
+
+#endif // UNIMEM_MEM_FOOTPRINT_CACHE_HH

@@ -61,6 +61,26 @@ Scoreboard::dependsOnLongLatency(const WarpInstr& in) const
     return false;
 }
 
+Scoreboard::ReadyInfo
+Scoreboard::readyInfo(const WarpInstr& in) const
+{
+    ReadyInfo info{0, false};
+    for (u8 s = 0; s < in.numSrc; ++s) {
+        RegId r = in.src[s];
+        if (r == kInvalidReg || r >= kMaxRegs)
+            continue;
+        const Entry& e = regs_[r];
+        info.readyAt = std::max(info.readyAt, e.readyAt);
+        info.longLatency |= e.longLatency;
+    }
+    if (in.hasDst() && in.dst < kMaxRegs) {
+        const Entry& e = regs_[in.dst];
+        info.readyAt = std::max(info.readyAt, e.readyAt);
+        info.longLatency |= e.longLatency;
+    }
+    return info;
+}
+
 void
 Scoreboard::reset()
 {

@@ -36,6 +36,15 @@ class Scoreboard
     /** True if @p in depends (RAW or WAW) on a pending long-latency op. */
     bool dependsOnLongLatency(const WarpInstr& in) const;
 
+    /** readyCycle + dependsOnLongLatency of @p in, one register pass. */
+    struct ReadyInfo
+    {
+        Cycle readyAt;
+        bool longLatency;
+    };
+
+    ReadyInfo readyInfo(const WarpInstr& in) const;
+
     /** True if any long-latency producer is outstanding for this warp. */
     bool anyLongLatencyPending() const { return longLatencyCount_ > 0; }
 

@@ -22,9 +22,7 @@ TwoLevelScheduler::addWarp(u32 warp)
         panic("TwoLevelScheduler: warp %u already resident", warp);
     ++numResident_;
     if (active_.size() < maxActive_) {
-        state_[warp] = State::Active;
-        active_.push_back(warp);
-        ++stats_.activations;
+        activate(warp);
     } else {
         state_[warp] = State::Eligible;
         eligible_.push_back(warp);
@@ -78,27 +76,8 @@ TwoLevelScheduler::promote()
     while (active_.size() < maxActive_ && !eligible_.empty()) {
         u32 warp = eligible_.front();
         eligible_.pop_front();
-        state_[warp] = State::Active;
-        active_.push_back(warp);
-        ++stats_.activations;
+        activate(warp);
     }
-}
-
-u32
-TwoLevelScheduler::pickIssue(const std::function<bool(u32)>& ready)
-{
-    if (active_.empty())
-        return kNone;
-    u32 n = static_cast<u32>(active_.size());
-    for (u32 i = 0; i < n; ++i) {
-        u32 idx = (rrNext_ + i) % n;
-        u32 warp = active_[idx];
-        if (ready(warp)) {
-            rrNext_ = (idx + 1) % n;
-            return warp;
-        }
-    }
-    return kNone;
 }
 
 bool

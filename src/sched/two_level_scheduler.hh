@@ -14,7 +14,6 @@
 #define UNIMEM_SCHED_TWO_LEVEL_SCHEDULER_HH
 
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "arch/gpu_constants.hh"
@@ -53,9 +52,39 @@ class TwoLevelScheduler
 
     /**
      * Round-robin selection among active warps for which @p ready returns
-     * true. Returns the warp id, or kNone.
+     * true. Returns the warp id, or kNone. Templated on the predicate so
+     * the per-cycle hot path carries no type-erasure (std::function)
+     * overhead; the callable is inlined at the single call site.
      */
-    u32 pickIssue(const std::function<bool(u32)>& ready);
+    template <typename ReadyFn>
+    u32
+    pickIssue(ReadyFn&& ready)
+    {
+        if (active_.empty())
+            return kNone;
+        u32 n = static_cast<u32>(active_.size());
+        for (u32 i = 0; i < n; ++i) {
+            u32 idx = (rrNext_ + i) % n;
+            u32 warp = active_[idx];
+            if (ready(warp)) {
+                rrNext_ = (idx + 1) % n;
+                return warp;
+            }
+        }
+        return kNone;
+    }
+
+    /**
+     * Every warp id entering the active set (addWarp or promotion) is
+     * appended to @p sink (nullptr disables). The SM uses this to feed
+     * its incremental housekeeping work list: activation is one of the
+     * only two events after which a warp can need retire/deschedule
+     * attention (the other being its own issue).
+     */
+    void setActivationSink(std::vector<u32>* sink)
+    {
+        activationSink_ = sink;
+    }
 
     const std::vector<u32>& activeWarps() const { return active_; }
     bool isActive(u32 warp) const;
@@ -76,10 +105,21 @@ class TwoLevelScheduler
 
     void promote();
 
+    void
+    activate(u32 warp)
+    {
+        state_[warp] = State::Active;
+        active_.push_back(warp);
+        ++stats_.activations;
+        if (activationSink_ != nullptr)
+            activationSink_->push_back(warp);
+    }
+
     u32 maxActive_;
     std::vector<u32> active_;
     std::deque<u32> eligible_;
     std::vector<State> state_;
+    std::vector<u32>* activationSink_ = nullptr;
     u32 numResident_ = 0;
     u32 rrNext_ = 0;
     SchedulerStats stats_;

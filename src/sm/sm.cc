@@ -39,6 +39,9 @@ SmModel::SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
     }
     activeScratch_.reserve(cfg_.activeSetSize);
     coalesceScratch_.reserve(kWarpWidth);
+    checkList_.reserve(num_warps);
+    activations_.reserve(num_warps);
+    sched_.setActivationSink(&activations_);
 }
 
 void
@@ -91,10 +94,12 @@ SmModel::launchCta(u32 ctaSlot)
         ws.ctaSlot = ctaSlot;
         ++ws.gen;
         ws.warpGlobalId = warp_gid;
+        ws.readyCacheValid = false;
 
         sched_.addWarp(slot);
         ++residentWarps_;
     }
+    scanMemoValid_ = false;
 }
 
 void
@@ -107,6 +112,7 @@ SmModel::retireWarp(u32 w)
     ws.stream.release();
     ++ws.gen; // invalidate in-flight load events
     --residentWarps_;
+    scanMemoValid_ = false;
 
     CtaSlot& cta = ctas_[ws.ctaSlot];
     if (--cta.warpsRemaining == 0) {
@@ -122,6 +128,7 @@ SmModel::drainDueEvents()
 {
     // Caller (the inline processEvents) has already established that
     // at least one event is due.
+    scanMemoValid_ = false;
     do {
         LoadEvent ev = events_.top();
         events_.pop();
@@ -129,44 +136,97 @@ SmModel::drainDueEvents()
         if (ws.gen != ev.gen || !ws.resident)
             continue;
         ws.sb.clearPending(ev.reg);
+        // clearPending can flip the head's long-latency dependence, so
+        // recompute the cached readiness (eagerly: the eligibility test
+        // below needs it anyway).
+        refreshReadyCache(ws);
         if (ws.atBarrier || sched_.isActive(ev.warp))
             continue;
-        const WarpInstr* next = ws.stream.peek();
-        if (next == nullptr || !ws.sb.dependsOnLongLatency(*next))
+        if (ws.cachedHeadNull || !ws.cachedDependsLL)
             sched_.signalEligible(ev.warp);
     } while (!events_.empty() && events_.top().at <= now_);
 }
 
 void
+SmModel::refreshReadyCache(WarpSlot& ws)
+{
+    const WarpInstr* in = ws.stream.peek();
+    if (in == nullptr) {
+        ws.cachedHeadNull = true;
+        ws.cachedDependsLL = false;
+        ws.cachedReadyAt = 0;
+    } else {
+        Scoreboard::ReadyInfo info = ws.sb.readyInfo(*in);
+        ws.cachedHeadNull = false;
+        ws.cachedDependsLL = info.longLatency;
+        ws.cachedReadyAt = info.readyAt;
+    }
+    ws.readyCacheValid = true;
+}
+
+void
 SmModel::housekeeping()
 {
-    // Snapshot into a reused scratch buffer: retire and deschedule
-    // mutate the active list, and a fresh vector here would put one
-    // heap allocation on every simulated cycle.
-    activeScratch_ = sched_.activeWarps();
+    // A warp can need attention here (exhausted stream -> retire, head
+    // blocked on a long-latency load -> deschedule) only after one of
+    // two events: it issued, or it entered the active set. Both sites
+    // queue the warp, so instead of rescanning the whole active set
+    // every iteration we examine only the queued warps — the common
+    // case is an empty list and an immediate return.
+    for (u32 w : activations_)
+        markDirty(w);
+    activations_.clear();
+    if (checkList_.empty())
+        return;
+
+    // Select queued ∩ active in current active-list order — the order
+    // the snapshot-based scan processed them in — into a reused scratch
+    // buffer: retire and deschedule mutate the active list. Warps
+    // activated during processing are queued for the next pass, exactly
+    // when the snapshot-based scan would first have seen them.
+    //
+    // Single queued warp (the just-issued one — the common case by far)
+    // needs no ordering, so skip the active-list walk.
+    activeScratch_.clear();
+    if (checkList_.size() == 1) {
+        u32 w = checkList_[0];
+        warps_[w].dirty = false;
+        checkList_.clear();
+        if (sched_.isActive(w))
+            activeScratch_.push_back(w);
+    } else {
+        for (u32 w : sched_.activeWarps())
+            if (warps_[w].dirty)
+                activeScratch_.push_back(w);
+        for (u32 w : checkList_)
+            warps_[w].dirty = false;
+        checkList_.clear();
+    }
+
     for (u32 w : activeScratch_) {
         WarpSlot& ws = warps_[w];
-        const WarpInstr* in = ws.stream.peek();
-        if (in == nullptr) {
+        if (!ws.readyCacheValid)
+            refreshReadyCache(ws);
+        if (ws.cachedHeadNull) {
             retireWarp(w);
-        } else if (ws.sb.dependsOnLongLatency(*in)) {
+        } else if (ws.cachedDependsLL) {
             // All live values must reside in the MRF while inactive.
             ws.rf.flushToMrf();
             sched_.deschedule(w);
+            scanMemoValid_ = false;
         }
     }
 }
 
 bool
-SmModel::warpReady(u32 w) const
+SmModel::warpReady(u32 w)
 {
-    const WarpSlot& ws = warps_[w];
+    WarpSlot& ws = warps_[w];
     if (!ws.resident || ws.atBarrier)
         return false;
-    const WarpInstr* in = const_cast<InstrStream&>(ws.stream).peek();
-    if (in == nullptr)
-        return false;
-    return ws.sb.readyCycle(*in) <= now_;
+    if (!ws.readyCacheValid)
+        refreshReadyCache(ws);
+    return !ws.cachedHeadNull && ws.cachedReadyAt <= now_;
 }
 
 void
@@ -188,6 +248,7 @@ SmModel::execBarrier(u32 w)
     WarpSlot& ws = warps_[w];
     CtaSlot& cta = ctas_[ws.ctaSlot];
     ++stats_.barriers;
+    scanMemoValid_ = false;
 
     ws.atBarrier = true;
     ws.rf.flushToMrf();
@@ -230,10 +291,34 @@ SmModel::execShared(u32 w, const WarpInstr& in, Cycle issueAt,
 }
 
 void
-SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt)
+SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
+                    FootprintCache<ConflictOutcome>::MemEntry* fp)
 {
+    using Fp = FootprintCache<ConflictOutcome>;
     WarpSlot& ws = warps_[w];
-    coalesce(in, coalesceScratch_);
+    if (fp != nullptr && fp->numLines <= Fp::kMaxInlineLines) {
+        // Replay the coalesced-line footprint decoded for an earlier
+        // dynamic instance of this exact (addresses included) key.
+        coalesceScratch_.assign(fp->lines.begin(),
+                                fp->lines.begin() + fp->numLines);
+        footprints_.noteLineReplay();
+    } else {
+        coalesce(in, coalesceScratch_);
+        if (fp != nullptr) {
+            footprints_.noteLineRecompute();
+            if (fp->numLines == Fp::kLinesUnknown) {
+                if (coalesceScratch_.size() <= Fp::kMaxInlineLines) {
+                    std::copy(coalesceScratch_.begin(),
+                              coalesceScratch_.end(),
+                              fp->lines.begin());
+                    fp->numLines =
+                        static_cast<u8>(coalesceScratch_.size());
+                } else {
+                    fp->numLines = Fp::kLinesOverflow;
+                }
+            }
+        }
+    }
     const std::vector<CoalescedAccess>& lines = coalesceScratch_;
     if (lines.empty())
         return;
@@ -319,8 +404,18 @@ void
 SmModel::issue(u32 w)
 {
     WarpSlot& ws = warps_[w];
-    const WarpInstr in = *ws.stream.peek();
+    // Reference, not a copy: pop() only bumps the chunk cursor, and the
+    // buffer cannot refill before the exhausted() check at the bottom
+    // (nothing below peeks this warp's stream), so `in` stays valid for
+    // the whole function.
+    const WarpInstr& in = *ws.stream.peek();
     ws.stream.pop();
+    // New head, and the exec handlers below touch the scoreboard.
+    ws.readyCacheValid = false;
+    scanMemoValid_ = false;
+
+    if (issueTrace_ != nullptr)
+        issueTrace_->push_back({now_, w, ws.warpGlobalId, in.op});
 
     ++stats_.warpInstrs;
     stats_.threadInstrs += in.numActive();
@@ -340,7 +435,35 @@ SmModel::issue(u32 w)
     bool ll_load = isLoad(in.op) && isLongLatency(in.op);
     u32 num_mrf = ws.rf.accessOperands(in, ll_load, mrf_banks);
 
-    ConflictOutcome co = conflicts_.evaluate(in, mrf_banks, num_mrf);
+    // Conflict evaluation through the footprint cache: the outcome is
+    // a pure function of the key, so a verified hit replays the exact
+    // numbers the model would recompute. Data-bank ops keep a pointer
+    // to their entry so the global path can also replay its coalesced
+    // lines without a second probe.
+    FootprintCache<ConflictOutcome>::MemEntry* fp = nullptr;
+    ConflictOutcome co;
+    const bool data_banks = isMemOp(in.op) && in.op != Opcode::Tex;
+    if (!footprints_.enabled()) {
+        co = conflicts_.evaluate(in, mrf_banks, num_mrf);
+    } else if (!data_banks) {
+        u8 sig = mrfSignature(mrf_banks, num_mrf);
+        if (const ConflictOutcome* hit = footprints_.findCompute(sig)) {
+            co = *hit;
+        } else {
+            co = conflicts_.evaluate(in, mrf_banks, num_mrf);
+            footprints_.insertCompute(sig, co);
+        }
+    } else {
+        u8 sig = mrfSignature(mrf_banks, num_mrf);
+        fp = footprints_.findMem(in, sig);
+        if (fp != nullptr) {
+            co = fp->outcome;
+        } else {
+            co = conflicts_.evaluate(in, mrf_banks, num_mrf);
+            fp = &footprints_.insertMem(in, sig);
+            fp->outcome = co;
+        }
+    }
     stats_.conflictHist.record(co.maxPerBank);
     u32 reg_pen = cfg_.conflictPenalties ? co.regPenalty : 0;
     u32 mem_pen =
@@ -372,7 +495,7 @@ SmModel::issue(u32 w)
       case Opcode::StGlobal:
       case Opcode::LdLocal:
       case Opcode::StLocal:
-        execGlobal(w, in, exec_at);
+        execGlobal(w, in, exec_at, fp);
         break;
       case Opcode::Tex:
         execTexture(w, in, now_);
@@ -383,29 +506,41 @@ SmModel::issue(u32 w)
 
     if (ws.stream.exhausted())
         retireWarp(w);
+    else
+        markDirty(w);
 }
 
 Cycle
-SmModel::nextInterestingCycle() const
+SmModel::nextInterestingCycle()
 {
     Cycle t = kCycleNever;
     if (!events_.empty())
         t = std::min(t, events_.top().at);
     if (issueFreeAt_ > now_)
         t = std::min(t, issueFreeAt_);
-    for (u32 w : sched_.activeWarps()) {
-        const WarpSlot& ws = warps_[w];
-        if (!ws.resident || ws.atBarrier)
-            continue;
-        const WarpInstr* in =
-            const_cast<InstrStream&>(ws.stream).peek();
-        if (in == nullptr || ws.sb.dependsOnLongLatency(*in))
-            continue;
-        Cycle ready = ws.sb.readyCycle(*in);
-        if (ready > now_)
-            t = std::min(t, ready);
+
+    // The active-warp minimum is memoized. Reuse is sound while no
+    // mutation occurred (scanMemoValid_) and the memo is still in the
+    // future: had any warp's ready cycle fallen inside (then, now_],
+    // it would itself have been the memoized minimum, contradicting
+    // scanMemo_ > now_.
+    if (!scanMemoValid_ || scanMemo_ <= now_) {
+        Cycle m = kCycleNever;
+        for (u32 w : sched_.activeWarps()) {
+            WarpSlot& ws = warps_[w];
+            if (!ws.resident || ws.atBarrier)
+                continue;
+            if (!ws.readyCacheValid)
+                refreshReadyCache(ws);
+            if (ws.cachedHeadNull || ws.cachedDependsLL)
+                continue;
+            if (ws.cachedReadyAt > now_)
+                m = std::min(m, ws.cachedReadyAt);
+        }
+        scanMemo_ = m;
+        scanMemoValid_ = true;
     }
-    return t;
+    return std::min(t, scanMemo_);
 }
 
 void
@@ -424,19 +559,44 @@ SmModel::advance(Cycle limit)
 {
     if (!started_)
         panic("SmModel::advance before start");
-    const u64 guard_limit = 50ull * 1000 * 1000 * 1000;
+
+    // Livelock guard scaled to progress, not to total loop iterations:
+    // a cumulative budget accumulates across bounded advance(limit)
+    // calls (chip stepping, multi-kernel apps) and would eventually
+    // trip on a legitimately long run. Every well-formed path advances
+    // now_ within a few iterations (issue -> issueFreeAt_ jump, or a
+    // strictly increasing idle skip), so a large iteration count at one
+    // clock value can only be a livelock.
+    const u64 guard_limit = 1000 * 1000;
 
     while (residentWarps_ > 0 && now_ < limit) {
-        if (++guard_ > guard_limit)
-            panic("SmModel: cycle guard tripped (livelock?)");
+        if (now_ != guardLastNow_) {
+            guardLastNow_ = now_;
+            guardNoProgress_ = 0;
+        }
+        if (++guardNoProgress_ > guard_limit)
+            panic("SmModel: no forward progress at cycle %llu "
+                  "(livelock?)",
+                  static_cast<unsigned long long>(now_));
+        guardPeak_ = std::max(guardPeak_, guardNoProgress_);
 
         processEvents();
-        housekeeping();
+        if (!activations_.empty() || !checkList_.empty())
+            housekeeping();
         if (residentWarps_ == 0)
             break;
 
         if (issueFreeAt_ > now_) {
-            now_ = std::min(issueFreeAt_, nextInterestingCycle());
+            // nextInterestingCycle() is always > now_ (due events were
+            // just drained, cached ready cycles at or before now_ are
+            // excluded from the scan), so when the port frees on the
+            // very next cycle the min is now_ + 1 no matter what the
+            // scan would return — skip it. This removes the O(active)
+            // rescan after every penalty-free issue; the clock stops at
+            // exactly the same cycles either way.
+            now_ = issueFreeAt_ == now_ + 1
+                       ? now_ + 1
+                       : std::min(issueFreeAt_, nextInterestingCycle());
             continue;
         }
 

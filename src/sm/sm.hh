@@ -28,6 +28,7 @@
 #include "arch/kernel_model.hh"
 #include "core/conflict_model.hh"
 #include "mem/coalescer.hh"
+#include "mem/footprint_cache.hh"
 #include "sched/scoreboard.hh"
 #include "sm/sm_config.hh"
 #include "sm/tex_unit.hh"
@@ -75,6 +76,48 @@ class SmModel
 
     const SmStats& stats() const { return stats_; }
 
+    /** One scheduler decision (order-trace tests and debugging). */
+    struct IssueRecord
+    {
+        Cycle cycle;
+        u32 warp;
+        u64 warpGlobalId;
+        Opcode op;
+    };
+
+    /**
+     * Record every issue into @p sink (nullptr disables). The sequence
+     * of records is part of the model's deterministic contract: the
+     * scheduler-order golden test asserts it byte-for-byte.
+     */
+    void setIssueTrace(std::vector<IssueRecord>* sink)
+    {
+        issueTrace_ = sink;
+    }
+
+    /**
+     * High-water mark of the livelock guard's no-progress counter
+     * (advance-loop iterations without the clock moving). Regression
+     * tests assert it stays O(1) regardless of kernel length or how
+     * the run is sliced into bounded advance(limit) calls.
+     */
+    u64 guardPeak() const { return guardPeak_; }
+
+    /**
+     * Static-instruction footprint cache (test/diagnostic hook; its
+     * counters are deliberately not part of SmStats so cached and
+     * uncached runs export identical statistics).
+     */
+    FootprintCache<ConflictOutcome>& footprintCache()
+    {
+        return footprints_;
+    }
+
+    const FootprintStats& footprintStats() const
+    {
+        return footprints_.stats();
+    }
+
   private:
     /**
      * One warp's machine state, held by value so the stream's chunk
@@ -91,6 +134,21 @@ class SmModel
         u32 ctaSlot = 0;
         u32 gen = 0;
         u64 warpGlobalId = 0;
+
+        /**
+         * Cached readiness of the stream head (DESIGN.md Section 9).
+         * Valid only while readyCacheValid: the head and its scoreboard
+         * entries can change only through this warp's own issue (pop +
+         * setPending), a load completion (clearPending), or a CTA
+         * relaunch, and each of those sites clears the flag.
+         */
+        Cycle cachedReadyAt = 0;
+        bool cachedHeadNull = false;
+        bool cachedDependsLL = false;
+        bool readyCacheValid = false;
+
+        /** Queued in checkList_ for the next housekeeping pass? */
+        bool dirty = false;
     };
 
     struct CtaSlot
@@ -130,16 +188,31 @@ class SmModel
 
     void drainDueEvents();
     void housekeeping();
-    bool warpReady(u32 w) const;
+    bool warpReady(u32 w);
     void issue(u32 w);
     void retireWarp(u32 w);
     void releaseBarrier(CtaSlot& cta);
-    Cycle nextInterestingCycle() const;
+    Cycle nextInterestingCycle();
+
+    /** Recompute a warp's cached head readiness from its stream/scoreboard. */
+    void refreshReadyCache(WarpSlot& ws);
+
+    /** Queue @p w for the next housekeeping pass (deduplicated). */
+    void
+    markDirty(u32 w)
+    {
+        WarpSlot& ws = warps_[w];
+        if (!ws.dirty) {
+            ws.dirty = true;
+            checkList_.push_back(w);
+        }
+    }
 
     void execCompute(u32 w, const WarpInstr& in, Cycle issueAt);
     void execShared(u32 w, const WarpInstr& in, Cycle issueAt,
                     const ConflictOutcome& co);
-    void execGlobal(u32 w, const WarpInstr& in, Cycle issueAt);
+    void execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
+                    FootprintCache<ConflictOutcome>::MemEntry* fp);
     void execTexture(u32 w, const WarpInstr& in, Cycle issueAt);
     void execBarrier(u32 w);
 
@@ -150,6 +223,7 @@ class SmModel
     const KernelParams& kp_;
 
     ConflictModel conflicts_;
+    FootprintCache<ConflictOutcome> footprints_;
     TwoLevelScheduler sched_;
     DataCache cache_;
     DramModel ownDram_;
@@ -175,11 +249,38 @@ class SmModel
     u32 residentWarps_ = 0;
     bool started_ = false;
     bool finalized_ = false;
-    u64 guard_ = 0;
+
+    /**
+     * Livelock guard: iterations of the advance loop since the local
+     * clock last moved. Every legitimate path advances now_ within a
+     * handful of iterations, so the counter resets constantly; unlike a
+     * cumulative cycle budget it cannot trip on long kernels or on many
+     * interleaved bounded advance(limit) calls (chip co-simulation).
+     */
+    u64 guardNoProgress_ = 0;
+    u64 guardPeak_ = 0;
+    Cycle guardLastNow_ = 0;
+
+    /**
+     * Memoized min over active warps inside nextInterestingCycle()
+     * (DESIGN.md Section 9). Reused only while no scheduler, stream,
+     * or scoreboard mutation occurred and the memo still lies in the
+     * future; any such mutation clears scanMemoValid_.
+     */
+    Cycle scanMemo_ = 0;
+    bool scanMemoValid_ = false;
+
+    /** Warps needing a housekeeping look (just issued or activated). */
+    std::vector<u32> checkList_;
+
+    /** Activation sink the scheduler appends to (drained each pass). */
+    std::vector<u32> activations_;
 
     /** Per-cycle scratch buffers (reused, never reallocated when hot). */
     std::vector<u32> activeScratch_;
     std::vector<CoalescedAccess> coalesceScratch_;
+
+    std::vector<IssueRecord>* issueTrace_ = nullptr;
 
     SmStats stats_;
 };
