@@ -12,7 +12,10 @@
  * and report the per-SM runtime discrepancy. We also show what happens
  * when chip bandwidth does NOT scale with SM count (contention).
  *
- * Flags: --scale=<f> (default 0.2), --sms=<n> (default 8)
+ * Flags: --scale=<f> (default 0.2), --sms=<n> (default 8),
+ *        --chip-jobs=<n> bound-phase workers (default:
+ *        UNIMEM_CHIP_JOBS or hardware concurrency; any value gives
+ *        identical results), --quantum=<c> (default 64)
  */
 
 #include <iostream>
@@ -31,12 +34,18 @@ main(int argc, char** argv)
     CliArgs args(argc, argv);
     double scale = args.getDouble("scale", 0.2);
     u32 sms = static_cast<u32>(args.getInt("sms", 8));
+    u32 jobs = static_cast<u32>(args.getInt("chip-jobs", 0));
+    Cycle quantum = static_cast<Cycle>(args.getInt("quantum", 64));
 
     std::cout << "=== EXTENSION: single-SM methodology vs chip-level "
-                 "co-simulation (" << sms << " SMs) ===\n\n";
+                 "co-simulation (" << sms << " SMs, "
+              << ChipModel::resolveWorkerCount(jobs, sms)
+              << " bound-weave workers, quantum " << quantum
+              << ") ===\n\n";
 
     Table t({"workload", "single-SM cycles", "chip max-SM cycles",
-             "error", "imbalance", "chip @ half bandwidth"});
+             "error", "imbalance", "chip @ half bandwidth",
+             "weave reqs", "windows"});
     for (const char* name :
          {"vectoradd", "sgemv", "bfs", "hotspot", "needle"}) {
         auto k = createBenchmark(name, scale);
@@ -51,6 +60,8 @@ main(int argc, char** argv)
         ChipConfig fair;
         fair.numSms = sms;
         fair.chipDramBytesPerCycle = sms * cfg.dramBytesPerCycle;
+        fair.workers = jobs;
+        fair.quantum = quantum;
         fair.sm = cfg;
         auto kf = createBenchmark(name, scale);
         ChipModel chip(fair, *kf);
@@ -75,7 +86,9 @@ main(int argc, char** argv)
                   Table::num(static_cast<double>(half_cycles) /
                                  static_cast<double>(cs.cycles),
                              2) +
-                      "x"});
+                      "x",
+                  std::to_string(cs.weaveRequests),
+                  std::to_string(cs.windows)});
     }
     t.print(std::cout);
 

@@ -11,6 +11,10 @@
  *   kernel    one kernel simulated end to end with the result cache off,
  *             reported as simulated warp-instructions and cycles per
  *             wall second (raw SmModel throughput)
+ *   chip      an 8-SM bound-weave chip co-simulation of sgemv, reported
+ *             as aggregate simulated SM-cycles per wall second (the
+ *             parallel chip engine's throughput; workers come from
+ *             UNIMEM_CHIP_JOBS)
  *
  * The fig8+autotune composite (sum of phase totals) is the number
  * scripts/bench.sh compares across commits. Results are emitted as JSON
@@ -24,12 +28,15 @@
  *        --no-cache     disable the result cache for the sweep phases
  *        --smoke        CI quick mode (scale 0.05, 1 repetition)
  *        --gate=<path>  regression gate: compare this run's
- *                       kernel_sim_cycles_per_s against the baseline
- *                       JSON at <path> and exit non-zero if it dropped
- *                       by more than 25%. Rates are comparable across
- *                       --scale settings (unlike phase totals), so the
- *                       CI smoke run can gate against the committed
- *                       full-scale BENCH_results.json. Override with
+ *                       kernel_sim_cycles_per_s and
+ *                       chip_sim_cycles_per_s against the baseline
+ *                       JSON at <path> and exit non-zero if either
+ *                       dropped by more than 25%. Rates are comparable
+ *                       across --scale settings (unlike phase totals),
+ *                       so the CI smoke run can gate against the
+ *                       committed full-scale BENCH_results.json. A
+ *                       baseline that predates the chip phase skips
+ *                       the chip check. Override with
  *                       UNIMEM_BENCH_NO_GATE=1 (e.g. on a loaded or
  *                       slower machine). The baseline is read before
  *                       the run, so --gate and --out may name the same
@@ -51,8 +58,10 @@
 #include "common/cli.hh"
 #include "common/log.hh"
 #include "kernels/registry.hh"
+#include "sched/occupancy.hh"
 #include "sim/experiments.hh"
 #include "sim/sweep.hh"
+#include "sm/chip.hh"
 
 // The harness is deliberately portable to commits that predate the
 // result cache, so scripts/bench.sh --compare can drop this exact file
@@ -192,9 +201,12 @@ main(int argc, char** argv)
     std::string outPath = args.getString("out", "BENCH_results.json");
     std::string gatePath = args.getString("gate", "");
 
-    // Snapshot the gate baseline before the run so --gate may point at
-    // the very file --out is about to overwrite.
+    // Snapshot the gate baselines before the run so --gate may point at
+    // the very file --out is about to overwrite. The chip rate is
+    // optional: baselines written before the chip phase existed simply
+    // skip that check.
     double gateBaseline = 0.0;
+    double gateChipBaseline = 0.0;
     if (!gatePath.empty()) {
         std::ifstream gin(gatePath);
         std::string text((std::istreambuf_iterator<char>(gin)),
@@ -207,6 +219,9 @@ main(int argc, char** argv)
             gateBaseline <= 0.0)
             fatal("perf_harness: no kernel_sim_cycles_per_s in %s",
                   gatePath.c_str());
+        if (!extractJsonNumber(text, "chip_sim_cycles_per_s",
+                               &gateChipBaseline))
+            gateChipBaseline = 0.0;
     }
 #if UNIMEM_HAVE_RESULT_CACHE
     if (args.getBool("no-cache", false))
@@ -256,12 +271,44 @@ main(int argc, char** argv)
     double kCyclesPerSec =
         static_cast<double>(kCycles) * repeat / kernel.total();
 
+    // Phase 4: chip-level bound-weave throughput. The rate is aggregate
+    // per-SM simulated cycles per wall second, so it credits parallel
+    // bound-phase speedup directly. Deliberately only touches ChipConfig
+    // fields present since the seed (workers come from the
+    // UNIMEM_CHIP_JOBS environment variable, read inside ChipModel) so
+    // scripts/bench.sh --compare can drop this file into old worktrees.
+    const std::string chipKernelName = "sgemv"; // memory-bound: DRAM-heavy
+    u64 chipSmCycles = 0;
+    u64 chipWarpInstrs = 0;
+    PhaseResult chip = timedPhase("chip", repeat, [&] {
+        auto k = createBenchmark(chipKernelName, scale);
+        ChipConfig cc;
+        cc.numSms = 8;
+        cc.sm.launch = occupancyPartitioned(k->params(),
+                                            cc.sm.partition.rfBytes,
+                                            cc.sm.partition.sharedBytes);
+        cc.chipDramBytesPerCycle = cc.numSms * cc.sm.dramBytesPerCycle;
+        ChipModel model(cc, *k);
+        const ChipStats& cs = model.run();
+        chipSmCycles = 0;
+        for (const SmStats& s : cs.sms)
+            chipSmCycles += s.cycles;
+        chipWarpInstrs = cs.warpInstrs();
+    });
+    double chipCyclesPerSec =
+        static_cast<double>(chipSmCycles) * repeat / chip.total();
+    double chipInstrsPerSec =
+        static_cast<double>(chipWarpInstrs) * repeat / chip.total();
+
     double composite = fig8.total() + autotune.total();
     std::cout << "\ncomposite (fig8+autotune): " << composite << " s at "
               << workersUsed << " worker(s)\n"
               << "kernel throughput (" << kernelName << "): "
               << kInstrsPerSec << " warp-instrs/s, " << kCyclesPerSec
-              << " sim-cycles/s\n";
+              << " sim-cycles/s\n"
+              << "chip throughput (" << chipKernelName << ", 8 SMs): "
+              << chipInstrsPerSec << " warp-instrs/s, "
+              << chipCyclesPerSec << " agg-SM-cycles/s\n";
 
     std::ostringstream os;
     os << "{\n"
@@ -278,10 +325,15 @@ main(int argc, char** argv)
     appendPhaseJson(os, autotune);
     os << ",\n";
     appendPhaseJson(os, kernel);
+    os << ",\n";
+    appendPhaseJson(os, chip);
     os << "\n  ],\n"
        << "  \"kernel_benchmark\": \"" << kernelName << "\",\n"
        << "  \"kernel_warp_instrs_per_s\": " << kInstrsPerSec << ",\n"
-       << "  \"kernel_sim_cycles_per_s\": " << kCyclesPerSec << "\n"
+       << "  \"kernel_sim_cycles_per_s\": " << kCyclesPerSec << ",\n"
+       << "  \"chip_benchmark\": \"" << chipKernelName << "\",\n"
+       << "  \"chip_warp_instrs_per_s\": " << chipInstrsPerSec << ",\n"
+       << "  \"chip_sim_cycles_per_s\": " << chipCyclesPerSec << "\n"
        << "}\n";
 
     std::ofstream out(outPath);
@@ -291,22 +343,35 @@ main(int argc, char** argv)
     std::cout << "wrote " << outPath << "\n";
 
     if (!gatePath.empty()) {
-        double ratio = kCyclesPerSec / gateBaseline;
-        std::cout << "gate: kernel_sim_cycles_per_s " << kCyclesPerSec
-                  << " vs baseline " << gateBaseline << " ("
-                  << gatePath << ") -> " << ratio << "x\n";
-        if (ratio < 0.75) {
+        auto gateCheck = [&gatePath](const char* key, double current,
+                                     double baseline) {
+            double ratio = current / baseline;
+            std::cout << "gate: " << key << " " << current
+                      << " vs baseline " << baseline << " (" << gatePath
+                      << ") -> " << ratio << "x\n";
+            if (ratio >= 0.75)
+                return true;
             const char* no_gate = std::getenv("UNIMEM_BENCH_NO_GATE");
             if (no_gate != nullptr && no_gate[0] == '1') {
                 std::cout << "gate: regression > 25% but "
                              "UNIMEM_BENCH_NO_GATE=1, passing\n";
-            } else {
-                std::cerr << "gate: FAIL - simulator throughput "
-                             "regressed by more than 25% (set "
-                             "UNIMEM_BENCH_NO_GATE=1 to override)\n";
-                return 1;
+                return true;
             }
-        }
+            std::cerr << "gate: FAIL - " << key
+                      << " regressed by more than 25% (set "
+                         "UNIMEM_BENCH_NO_GATE=1 to override)\n";
+            return false;
+        };
+        bool ok = gateCheck("kernel_sim_cycles_per_s", kCyclesPerSec,
+                            gateBaseline);
+        if (gateChipBaseline > 0.0)
+            ok &= gateCheck("chip_sim_cycles_per_s", chipCyclesPerSec,
+                            gateChipBaseline);
+        else
+            std::cout << "gate: baseline has no chip_sim_cycles_per_s, "
+                         "skipping chip check\n";
+        if (!ok)
+            return 1;
     }
     return 0;
 }

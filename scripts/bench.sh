@@ -17,8 +17,8 @@
 # .gitignore'd.
 #
 # Every run also appends one line to BENCH_history.jsonl (commit, date,
-# composite seconds, per-phase best seconds, kernel throughput) so the
-# tracked numbers accumulate a per-commit trail.
+# composite seconds, per-phase best seconds, kernel and chip-sim
+# throughput) so the tracked numbers accumulate a per-commit trail.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -61,12 +61,15 @@ phase_best() { # phase_best <file> <phase>
         "$(git describe --always --dirty 2>/dev/null || echo unknown)" \
         "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf ', "composite_s": %s' "$(json_num BENCH_results.json composite_s)"
-    printf ', "phase_best_s": {"fig8": %s, "autotune": %s, "kernel": %s}' \
+    printf ', "phase_best_s": {"fig8": %s, "autotune": %s, "kernel": %s, "chip": %s}' \
         "$(phase_best BENCH_results.json fig8)" \
         "$(phase_best BENCH_results.json autotune)" \
-        "$(phase_best BENCH_results.json kernel)"
-    printf ', "kernel_sim_cycles_per_s": %s}\n' \
+        "$(phase_best BENCH_results.json kernel)" \
+        "$(phase_best BENCH_results.json chip)"
+    printf ', "kernel_sim_cycles_per_s": %s' \
         "$(json_num BENCH_results.json kernel_sim_cycles_per_s)"
+    printf ', "chip_sim_cycles_per_s": %s}\n' \
+        "$(json_num BENCH_results.json chip_sim_cycles_per_s)"
 } >> BENCH_history.jsonl
 echo "=== bench: appended BENCH_history.jsonl ==="
 
@@ -102,6 +105,12 @@ if [[ -n "$compare_ref" ]]; then
     ref_k=$(json_num "$worktree/BENCH_ref.json" kernel_sim_cycles_per_s)
     awk -v new="$new_k" -v ref="$ref_k" -v refname="$compare_ref" \
         'BEGIN { printf "=== bench: kernel %.3g vs %.3g sim-cycles/s " \
+                        "at %s -> %.2fx speedup ===\n", \
+                 new, ref, refname, new / ref }'
+    new_c=$(json_num BENCH_results.json chip_sim_cycles_per_s)
+    ref_c=$(json_num "$worktree/BENCH_ref.json" chip_sim_cycles_per_s)
+    awk -v new="$new_c" -v ref="$ref_c" -v refname="$compare_ref" \
+        'BEGIN { printf "=== bench: chip %.3g vs %.3g agg-SM-cycles/s " \
                         "at %s -> %.2fx speedup ===\n", \
                  new, ref, refname, new / ref }'
 fi

@@ -3,9 +3,10 @@
 #   1. tier-1: configure, build, and run the full ctest suite
 #   2. lint: run the static kernel-model analyzer over all shipped
 #      kernels with warnings promoted to errors (tools/unimem_lint)
-#   3. concurrency: rebuild the sweep engine and its tests under
-#      ThreadSanitizer and run test_sweep to catch data races the
-#      functional suite cannot see
+#   3. concurrency: rebuild the sweep and bound-weave chip engines
+#      under ThreadSanitizer and run test_sweep plus
+#      test_chip_determinism (randomized ChipConfig stress) to catch
+#      data races the functional suite cannot see
 #   4. memory: rebuild the analyzer and integration tests under
 #      AddressSanitizer+UBSan and run them with halt_on_error
 #   5. tidy (opt-in via --tidy): clang-tidy over src/ using the compile
@@ -53,14 +54,17 @@ if [[ $run_lint -eq 1 ]]; then
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
-    echo "=== ThreadSanitizer: sweep engine ==="
+    echo "=== ThreadSanitizer: sweep + bound-weave chip engines ==="
     cmake -B build-tsan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-    cmake --build build-tsan -j "$JOBS" --target test_sweep
+    cmake --build build-tsan -j "$JOBS" --target test_sweep \
+        --target test_chip_determinism
     # TSAN_OPTIONS halt_on_error makes any race a hard failure.
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sweep
+    TSAN_OPTIONS="halt_on_error=1" \
+        ./build-tsan/tests/test_chip_determinism
 fi
 
 if [[ $run_asan -eq 1 ]]; then

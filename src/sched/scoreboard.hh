@@ -48,6 +48,17 @@ class Scoreboard
     /** True if any long-latency producer is outstanding for this warp. */
     bool anyLongLatencyPending() const { return longLatencyCount_ > 0; }
 
+    /**
+     * Raw pending-ready cycle of @p r. Used by the deferred-DRAM
+     * delivery path to verify that the entry still holds the sentinel
+     * this load planted (and was not overwritten by a younger writer).
+     */
+    Cycle
+    pendingAt(RegId r) const
+    {
+        return r < kMaxRegs ? regs_[r].readyAt : 0;
+    }
+
     void reset();
 
   private:

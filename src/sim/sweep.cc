@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "common/worker_pool.hh"
 #include "sim/result_cache.hh"
 
 namespace unimem {
@@ -88,6 +89,8 @@ SweepRunner::SweepRunner(u32 workers)
 {
 }
 
+SweepRunner::~SweepRunner() = default;
+
 u32
 SweepRunner::resolveWorkerCount(u32 requested)
 {
@@ -161,12 +164,13 @@ SweepRunner::run(const std::vector<SweepJob>& jobs)
     if (workers <= 1) {
         workerLoop(0);
     } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (u32 w = 0; w < workers; ++w)
-            pool.emplace_back(workerLoop, w);
-        for (std::thread& t : pool)
-            t.join();
+        // Shared fork-join pool (common/worker_pool.hh): one slot per
+        // worker, each slot running the dynamic claim loop above. The
+        // pool is kept across run() calls so repeated sweeps reuse the
+        // parked threads.
+        if (pool_ == nullptr || pool_->workers() < workers)
+            pool_ = std::make_unique<WorkerPool>(workers);
+        pool_->dispatch(workers, workerLoop);
     }
     stats_.wallSeconds = secondsSince(sweepStart);
     stats_.memoHits = resultCache().hits() - memoHits0;

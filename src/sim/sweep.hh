@@ -25,10 +25,15 @@
 #define UNIMEM_SIM_SWEEP_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/simulator.hh"
+
+namespace unimem {
+class WorkerPool;
+}
 
 namespace unimem {
 
@@ -127,9 +132,14 @@ class SweepRunner
     /** True while the calling thread is executing a sweep job. */
     static bool inSweepWorker();
 
+    ~SweepRunner();
+
   private:
     u32 workers_;
     SweepStats stats_;
+
+    /** Lazily created, reused across run() calls. */
+    std::unique_ptr<WorkerPool> pool_;
 };
 
 /** One-shot helper: run @p jobs on a fresh SweepRunner. */

@@ -1,8 +1,11 @@
 #include "sm/chip.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <thread>
 
 #include "common/log.hh"
+#include "common/worker_pool.hh"
 
 namespace unimem {
 
@@ -24,6 +27,50 @@ ChipStats::minSmCycles() const
     return m;
 }
 
+double
+ChipStats::loadImbalance() const
+{
+    if (sms.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const SmStats& s : sms)
+        sum += static_cast<double>(s.cycles);
+    double mean = sum / static_cast<double>(sms.size());
+    if (mean <= 0.0)
+        return 0.0;
+    return static_cast<double>(maxSmCycles()) / mean - 1.0;
+}
+
+double
+ChipStats::quantumUtilization() const
+{
+    u64 total = smQuantaRun + smQuantaSkipped;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(smQuantaRun) /
+                     static_cast<double>(total);
+}
+
+u32
+ChipModel::resolveWorkerCount(u32 requested, u32 numSms)
+{
+    u32 workers = requested;
+    if (workers == 0) {
+        if (const char* env = std::getenv("UNIMEM_CHIP_JOBS")) {
+            long n = std::atol(env);
+            if (n > 0)
+                workers = static_cast<u32>(n);
+            else
+                warn("ignoring invalid UNIMEM_CHIP_JOBS='%s'", env);
+        }
+    }
+    if (workers == 0) {
+        u32 hw = std::thread::hardware_concurrency();
+        workers = hw == 0 ? 1 : hw;
+    }
+    return std::min(std::max<u32>(workers, 1), std::max<u32>(numSms, 1));
+}
+
 ChipModel::ChipModel(const ChipConfig& cfg, const KernelModel& kernel)
     : cfg_(cfg), dram_(cfg.chipDramBytesPerCycle, cfg.sm.lat.dram),
       texDram_(cfg.chipDramBytesPerCycle, cfg.sm.lat.dram)
@@ -33,10 +80,71 @@ ChipModel::ChipModel(const ChipConfig& cfg, const KernelModel& kernel)
     if (cfg_.quantum == 0)
         fatal("ChipModel: zero quantum");
     for (u32 i = 0; i < cfg_.numSms; ++i) {
+        queues_.push_back(
+            std::make_unique<DramRequestQueue>(cfg_.sm.lat.dram));
         SmRunConfig sm_cfg = cfg_.sm;
         sm_cfg.seed = cfg_.sm.seed + i; // per-SM-distinct traces
-        sms_.push_back(std::make_unique<SmModel>(sm_cfg, kernel, &dram_,
-                                                 &texDram_));
+        sms_.push_back(std::make_unique<SmModel>(sm_cfg, kernel,
+                                                 queues_.back().get()));
+    }
+}
+
+ChipModel::~ChipModel() = default;
+
+void
+ChipModel::weave()
+{
+    // Canonical replay order: by issue cycle, ties by smId, ties within
+    // one SM in record order (the merge array is built in smId order
+    // and the sort is stable). Per-SM record order is nondecreasing in
+    // cycle per channel, so for a single SM the replay is exactly the
+    // immediate engine's call sequence — the basis of the 1-SM
+    // exactness invariant. The two channels share one sorted pass but
+    // hit independent DramModels.
+    merge_.clear();
+    for (u32 i = 0; i < cfg_.numSms; ++i) {
+        const std::vector<DramRequest>& reqs = queues_[i]->requests();
+        for (u32 r = 0; r < reqs.size(); ++r)
+            merge_.push_back(MergeRef{reqs[r].at, i, r});
+    }
+    if (!merge_.empty()) {
+        std::stable_sort(merge_.begin(), merge_.end(),
+                         [](const MergeRef& a, const MergeRef& b) {
+                             if (a.at != b.at)
+                                 return a.at < b.at;
+                             return a.sm < b.sm;
+                         });
+        for (const MergeRef& m : merge_) {
+            const DramRequest& rq = queues_[m.sm]->requests()[m.idx];
+            DramModel& ch =
+                rq.channel == kTexDramChannel ? texDram_ : dram_;
+            Cycle done = rq.isRead ? ch.read(rq.at, rq.sectors)
+                                   : ch.write(rq.at, rq.sectors);
+            stats_.perSmDramSectors[m.sm] += rq.sectors;
+            if (rq.group != kNoGroup) {
+                DeferredGroup& g = queues_[m.sm]->groups()[rq.group];
+                Cycle c = done + g.extra;
+                if (c > g.result)
+                    g.result = c;
+            } else if (rq.trackDrain) {
+                sms_[m.sm]->noteDrain(done);
+            }
+        }
+        stats_.weaveRequests += merge_.size();
+    }
+
+    // Deliver resolved completions per SM in record (program) order —
+    // the order the immediate engine would have pushed the events in.
+    for (u32 i = 0; i < cfg_.numSms; ++i) {
+        for (DeferredGroup& g : queues_[i]->groups()) {
+            Cycle result = std::max(g.known, g.result);
+            if (g.wake)
+                sms_[i]->deliverLoad(g.warp, g.gen, g.reg, result,
+                                     g.placeholder, g.trackCompletion);
+            else if (g.trackCompletion)
+                sms_[i]->noteDrain(result);
+        }
+        queues_[i]->clearReplayed();
     }
 }
 
@@ -50,26 +158,79 @@ ChipModel::run()
     for (auto& sm : sms_)
         sm->start();
 
-    // Conservative quantum co-simulation: every SM advances to the
-    // window end before any SM enters the next window, bounding the
-    // timestamp skew seen by the shared DRAM to one quantum.
+    u32 workers = resolveWorkerCount(cfg_.workers, cfg_.numSms);
+    stats_.workersUsed = workers;
+    stats_.perSmDramSectors.assign(cfg_.numSms, 0);
+    WorkerPool pool(workers);
+
+    std::vector<u32> runnable;
+    runnable.reserve(cfg_.numSms);
+
     Cycle window_end = cfg_.quantum;
     const u64 guard_limit = 2ull * 1000 * 1000 * 1000;
     u64 guard = 0;
 
-    bool any_running = true;
-    while (any_running) {
-        if (++guard > guard_limit)
-            panic("ChipModel: window guard tripped");
-        any_running = false;
-        for (auto& sm : sms_) {
-            if (sm->finished())
-                continue;
-            sm->advance(window_end);
-            if (!sm->finished())
-                any_running = true;
+    for (;;) {
+        // ---- one window: bound sub-rounds + weave to a fixpoint ----
+        // With quantum <= DRAM latency every deferred completion fence
+        // lies beyond the window and this loop runs exactly once; with
+        // larger quanta, fenced SMs stall mid-window and need another
+        // pass after the weave resolves their loads.
+        bool first_pass = true;
+        for (;;) {
+            runnable.clear();
+            for (u32 i = 0; i < cfg_.numSms; ++i) {
+                if (sms_[i]->finished())
+                    continue;
+                if (sms_[i]->now() < window_end)
+                    runnable.push_back(i);
+                else if (first_pass)
+                    ++stats_.smQuantaSkipped;
+            }
+            if (first_pass)
+                stats_.smQuantaRun += runnable.size();
+            first_pass = false;
+            if (runnable.empty())
+                break;
+            if (++guard > guard_limit)
+                panic("ChipModel: window guard tripped");
+
+            pool.parallelFor(
+                static_cast<u32>(runnable.size()),
+                [&](u32 j) { sms_[runnable[j]]->advance(window_end); });
+            ++stats_.boundPasses;
+
+            for (u32 i : runnable) {
+                if (!sms_[i]->finished() && sms_[i]->now() < window_end)
+                    stats_.weaveStallCycles +=
+                        window_end - sms_[i]->now();
+            }
+            weave();
         }
+        ++stats_.windows;
+
+        // Every queue is empty after the weave; find where to go next.
+        bool any_unfinished = false;
+        Cycle min_now = kCycleNever;
+        for (auto& sm : sms_) {
+            if (!sm->finished()) {
+                any_unfinished = true;
+                min_now = std::min(min_now, sm->now());
+            }
+        }
+        if (!any_unfinished)
+            break;
+
+        // Fast-forward over empty windows (all unfinished SMs overshot
+        // this window via idle jumps): hop along the quantum grid so
+        // the skipped windows — which would record no traffic — cost
+        // nothing. Staying on the grid keeps results identical to
+        // stepping them one by one.
         window_end += cfg_.quantum;
+        if (min_now >= window_end) {
+            u64 skip = (min_now - window_end) / cfg_.quantum;
+            window_end += skip * cfg_.quantum;
+        }
     }
 
     Cycle max_cycles = 0;

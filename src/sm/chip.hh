@@ -1,14 +1,27 @@
 /**
  * @file
- * Chip-level co-simulation (validation of paper Section 5.1).
+ * Chip-level co-simulation (validation of paper Section 5.1) with a
+ * parallel two-phase bound-weave engine (DESIGN.md Section 10).
  *
  * The paper simulates a single SM and gives it 1/32 of the chip's DRAM
  * bandwidth, arguing that with many symmetric SMs this "simplifies
  * simulation without sacrificing accuracy". This module checks that
- * claim: it runs N SmModels concurrently against one shared DRAM model
- * with the full chip bandwidth (paper Section 2: 6 channels, 256
- * bytes/cycle for 32 SMs), advancing the SMs in small conservative time
- * quanta so their memory traffic interleaves.
+ * claim: it runs N SmModels against shared memory controllers with the
+ * full chip bandwidth (paper Section 2: 6 channels, 256 bytes/cycle for
+ * 32 SMs).
+ *
+ * Execution alternates two phases per conservative time quantum:
+ *  - bound: every runnable SM advances privately to the window end on a
+ *    worker pool, recording its DRAM traffic into a per-SM
+ *    DramRequestQueue instead of timing it. SMs that already overshot
+ *    the window (idle-jump memoization) are skipped entirely.
+ *  - weave: a single thread merges all queues in the canonical
+ *    (cycle, smId) order, replays them against the shared DramModels,
+ *    and delivers the resolved load completions back to each SM.
+ *
+ * Because the weave order and every SM's decision trace are functions
+ * of the configuration alone, results are bit-identical regardless of
+ * the worker count — the same invariant the sweep engine enforces.
  *
  * Each SM executes its own 1/N grid share of the kernel with a
  * per-SM-distinct trace seed.
@@ -34,12 +47,22 @@ struct ChipConfig
     u32 chipDramBytesPerCycle = 256;
 
     /**
-     * Conservative co-simulation quantum in cycles: SMs run round-robin
-     * in windows of this size against the shared DRAM. Smaller values
-     * interleave traffic more faithfully; larger values simulate
-     * faster.
+     * Conservative co-simulation quantum in cycles: all SMs reach the
+     * window end (bound) before the window's DRAM traffic is replayed
+     * (weave). Smaller values interleave multi-SM traffic at a finer
+     * grain; larger values batch more work per dispatch. Single-SM
+     * results are quantum-invariant; multi-SM contention timing is not
+     * (the weave replays whole windows).
      */
     Cycle quantum = 64;
+
+    /**
+     * Bound-phase worker threads. 0 resolves, in order, from the
+     * UNIMEM_CHIP_JOBS environment variable, then hardware
+     * concurrency; the result is capped to numSms. Any value produces
+     * identical simulation results.
+     */
+    u32 workers = 0;
 
     /** Per-SM configuration (design, partition, launch, options). */
     SmRunConfig sm;
@@ -58,6 +81,31 @@ struct ChipStats
     /** Per-SM statistics (dram fields empty: traffic is chip-level). */
     std::vector<SmStats> sms;
 
+    /** Per-SM share of replayed chip-DRAM sectors (both channels). */
+    std::vector<u64> perSmDramSectors;
+
+    /** Bound-phase workers the run actually used. */
+    u32 workersUsed = 0;
+
+    /** Quanta processed (empty windows are fast-forwarded, not run). */
+    u64 windows = 0;
+
+    /** Bound dispatches (> windows when in-window sub-rounds occur). */
+    u64 boundPasses = 0;
+
+    /** DRAM transactions replayed by the weave phase. */
+    u64 weaveRequests = 0;
+
+    /**
+     * Cycles SMs spent fenced before a window boundary waiting for the
+     * weave to resolve a deferred completion (quantum > DRAM latency).
+     */
+    u64 weaveStallCycles = 0;
+
+    /** (SM, window) slots that ran vs. were skipped as quiescent. */
+    u64 smQuantaRun = 0;
+    u64 smQuantaSkipped = 0;
+
     u64
     warpInstrs() const
     {
@@ -70,6 +118,15 @@ struct ChipStats
     /** Slowest / fastest SM finish times (load-imbalance measure). */
     Cycle maxSmCycles() const;
     Cycle minSmCycles() const;
+
+    /** Finish-time spread between the slowest and fastest SM. */
+    Cycle finishSkew() const { return maxSmCycles() - minSmCycles(); }
+
+    /** Slowest SM finish over the mean finish, minus 1 (0 = balanced). */
+    double loadImbalance() const;
+
+    /** Fraction of (SM, window) slots that did bound-phase work. */
+    double quantumUtilization() const;
 };
 
 /** Co-simulates N identical SMs sharing the chip's DRAM bandwidth. */
@@ -77,17 +134,33 @@ class ChipModel
 {
   public:
     ChipModel(const ChipConfig& cfg, const KernelModel& kernel);
+    ~ChipModel();
 
     /** Run every SM's grid share to completion. */
     const ChipStats& run();
 
     const ChipStats& stats() const { return stats_; }
 
+    /** Worker count a run with this config would use (cfg resolution). */
+    static u32 resolveWorkerCount(u32 requested, u32 numSms);
+
   private:
+    void weave();
+
+    /** Sort key for the canonical weave replay order. */
+    struct MergeRef
+    {
+        Cycle at;
+        u32 sm;
+        u32 idx;
+    };
+
     ChipConfig cfg_;
     DramModel dram_;
     DramModel texDram_;
+    std::vector<std::unique_ptr<DramRequestQueue>> queues_;
     std::vector<std::unique_ptr<SmModel>> sms_;
+    std::vector<MergeRef> merge_; // reused weave scratch
     ChipStats stats_;
     bool ran_ = false;
 };

@@ -9,16 +9,15 @@
 namespace unimem {
 
 SmModel::SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
-                 DramModel* sharedDram, DramModel* sharedTexDram)
+                 DramRequestQueue* chipQueue)
     : cfg_(cfg), kernel_(kernel), kp_(kernel.params()),
       conflicts_(cfg.design, cfg.aggressiveUnified),
       sched_(cfg.activeSetSize),
       cache_(cfg.partition.cacheBytes, 4, cfg.cachePolicy),
       ownDram_(cfg.dramBytesPerCycle, cfg.lat.dram),
       ownTexDram_(cfg.dramBytesPerCycle, cfg.lat.dram),
-      dram_(sharedDram != nullptr ? sharedDram : &ownDram_),
-      texDram_(sharedTexDram != nullptr ? sharedTexDram : &ownTexDram_),
-      tex_(cfg.texCacheBytes, cfg.lat.texture, texDram_)
+      queue_(chipQueue),
+      tex_(cfg.texCacheBytes, cfg.lat.texture, &ownTexDram_)
 {
     kp_.validate();
     if (!cfg_.launch.feasible)
@@ -329,6 +328,14 @@ SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
     Cycle tag_time = std::max(issueAt, tagFreeAt_);
     Cycle completion = 0;
 
+    // Deferred-DRAM mode: misses of a load some register waits on form
+    // a completion group; everything else records as fire-and-forget
+    // traffic. Cache state (tags, LRU, dirty bits) evolves here exactly
+    // as on the immediate path — only DRAM *timing* is deferred.
+    u32 group = kNoGroup;
+    if (queue_ != nullptr && is_load && in.hasDst())
+        group = queue_->beginGroup(w, ws.gen, in.dst, 0);
+
     for (const CoalescedAccess& acc : lines) {
         tag_time += 1; // single-ported tag array
         u64 hit_bytes =
@@ -345,16 +352,30 @@ SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
                         completion, tag_time + cfg_.lat.cacheHit);
                     stats_.cacheReadBytes += hit_bytes;
                 } else {
-                    Cycle ready = dram_->read(tag_time, line_sectors);
-                    if (cache_.fill(acc.lineAddr)) {
-                        // Dirty victim (write-back mode) drains first.
-                        dram_->write(tag_time, line_sectors);
+                    if (queue_ != nullptr) {
+                        queue_->recordRead(kDataDramChannel, tag_time,
+                                           line_sectors, group, false);
+                        if (cache_.fill(acc.lineAddr)) {
+                            // Dirty victim (write-back mode) drains
+                            // first.
+                            queue_->recordWrite(kDataDramChannel,
+                                                tag_time, line_sectors,
+                                                false);
+                        }
+                    } else {
+                        Cycle ready =
+                            ownDram_.read(tag_time, line_sectors);
+                        if (cache_.fill(acc.lineAddr))
+                            ownDram_.write(tag_time, line_sectors);
+                        completion = std::max(completion, ready);
                     }
                     stats_.cacheWriteBytes += kCacheLineBytes;
-                    completion = std::max(completion, ready);
                 }
+            } else if (queue_ != nullptr) {
+                queue_->recordRead(kDataDramChannel, tag_time,
+                                   acc.numSectors(), group, false);
             } else {
-                Cycle ready = dram_->read(tag_time, acc.numSectors());
+                Cycle ready = ownDram_.read(tag_time, acc.numSectors());
                 completion = std::max(completion, ready);
             }
         } else if (cfg_.cachePolicy == WritePolicy::WriteBack &&
@@ -363,28 +384,53 @@ SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
             if (cache_.write(acc.lineAddr)) {
                 stats_.cacheWriteBytes += hit_bytes;
             } else {
-                Cycle ready = dram_->read(tag_time, line_sectors);
-                if (cache_.fill(acc.lineAddr))
-                    dram_->write(tag_time, line_sectors);
+                if (queue_ != nullptr) {
+                    // The fill's completion feeds only the end-of-run
+                    // clock; the weave folds it in via noteDrain().
+                    queue_->recordRead(kDataDramChannel, tag_time,
+                                       line_sectors, kNoGroup, true);
+                    if (cache_.fill(acc.lineAddr))
+                        queue_->recordWrite(kDataDramChannel, tag_time,
+                                            line_sectors, false);
+                } else {
+                    Cycle ready = ownDram_.read(tag_time, line_sectors);
+                    if (cache_.fill(acc.lineAddr))
+                        ownDram_.write(tag_time, line_sectors);
+                    lastCompletion_ = std::max(lastCompletion_, ready);
+                }
                 cache_.markDirty(acc.lineAddr);
                 stats_.cacheWriteBytes += kCacheLineBytes + hit_bytes;
-                lastCompletion_ = std::max(lastCompletion_, ready);
             }
         } else {
             // Paper design: write-through, no write-allocate.
             if (cache_.enabled() && cache_.write(acc.lineAddr))
                 stats_.cacheWriteBytes += hit_bytes;
-            Cycle drained = dram_->write(tag_time, acc.numSectors());
-            lastCompletion_ = std::max(lastCompletion_, drained);
+            if (queue_ != nullptr) {
+                queue_->recordWrite(kDataDramChannel, tag_time,
+                                    acc.numSectors(), true);
+            } else {
+                Cycle drained =
+                    ownDram_.write(tag_time, acc.numSectors());
+                lastCompletion_ = std::max(lastCompletion_, drained);
+            }
         }
     }
     tagFreeAt_ = tag_time;
     stats_.tagSerializationCycles += lines.size() - 1;
 
     if (is_load && in.hasDst()) {
-        ws.sb.setPending(in.dst, completion, true);
-        lastCompletion_ = std::max(lastCompletion_, completion);
-        events_.push(LoadEvent{completion, w, ws.gen, in.dst});
+        if (group != kNoGroup &&
+            queue_->endGroup(group, completion, true, true)) {
+            // Completion unresolved until the weave: plant the sentinel
+            // (descheduling sees the same long-latency dependence the
+            // real value would create) and let deliverLoad() install
+            // the replayed completion plus the wakeup event.
+            ws.sb.setPending(in.dst, queue_->lastPlaceholder(), true);
+        } else {
+            ws.sb.setPending(in.dst, completion, true);
+            lastCompletion_ = std::max(lastCompletion_, completion);
+            events_.push(LoadEvent{completion, w, ws.gen, in.dst});
+        }
     }
 }
 
@@ -392,12 +438,51 @@ void
 SmModel::execTexture(u32 w, const WarpInstr& in, Cycle issueAt)
 {
     WarpSlot& ws = warps_[w];
+    if (queue_ != nullptr) {
+        u32 group = queue_->beginGroup(w, ws.gen, in.dst,
+                                       cfg_.lat.texture / 4);
+        Cycle base = tex_.accessDeferred(issueAt, in, *queue_, group);
+        if (queue_->endGroup(group, base, in.hasDst(), true)) {
+            if (in.hasDst())
+                ws.sb.setPending(in.dst, queue_->lastPlaceholder(),
+                                 true);
+            return;
+        }
+        // Every line hit the texture cache: the pipeline latency is the
+        // exact completion, no weave needed.
+        lastCompletion_ = std::max(lastCompletion_, base);
+        if (in.hasDst()) {
+            ws.sb.setPending(in.dst, base, true);
+            events_.push(LoadEvent{base, w, ws.gen, in.dst});
+        }
+        return;
+    }
     Cycle done = tex_.access(issueAt, in);
     lastCompletion_ = std::max(lastCompletion_, done);
     if (in.hasDst()) {
         ws.sb.setPending(in.dst, done, true);
         events_.push(LoadEvent{done, w, ws.gen, in.dst});
     }
+}
+
+void
+SmModel::deliverLoad(u32 warp, u32 gen, RegId reg, Cycle completion,
+                     Cycle placeholder, bool trackCompletion)
+{
+    if (trackCompletion)
+        lastCompletion_ = std::max(lastCompletion_, completion);
+    // Push the wakeup even when the warp instance is gone: the
+    // immediate engine's event (pushed at issue time) also outlives a
+    // retired warp — it is gen-filtered at drain time but participates
+    // in idle-jump targeting until then.
+    events_.push(LoadEvent{completion, warp, gen, reg});
+    WarpSlot& ws = warps_[warp];
+    if (ws.gen == gen && ws.resident &&
+        ws.sb.pendingAt(reg) == placeholder) {
+        ws.sb.setPending(reg, completion, true);
+        ws.readyCacheValid = false;
+    }
+    scanMemoValid_ = false;
 }
 
 void
@@ -570,6 +655,14 @@ SmModel::advance(Cycle limit)
     const u64 guard_limit = 1000 * 1000;
 
     while (residentWarps_ > 0 && now_ < limit) {
+        // Deferred-DRAM fence: an unresolved load completion could land
+        // as early as stallBound(), so no scheduling decision may be
+        // made at or beyond it — return and let the chip weave.
+        const Cycle fence =
+            queue_ != nullptr ? queue_->stallBound() : kCycleNever;
+        if (now_ >= fence)
+            break;
+
         if (now_ != guardLastNow_) {
             guardLastNow_ = now_;
             guardNoProgress_ = 0;
@@ -594,9 +687,11 @@ SmModel::advance(Cycle limit)
             // scan would return — skip it. This removes the O(active)
             // rescan after every penalty-free issue; the clock stops at
             // exactly the same cycles either way.
-            now_ = issueFreeAt_ == now_ + 1
-                       ? now_ + 1
-                       : std::min(issueFreeAt_, nextInterestingCycle());
+            Cycle target =
+                issueFreeAt_ == now_ + 1
+                    ? now_ + 1
+                    : std::min(issueFreeAt_, nextInterestingCycle());
+            now_ = std::min(target, fence);
             continue;
         }
 
@@ -606,13 +701,15 @@ SmModel::advance(Cycle limit)
         if (w == TwoLevelScheduler::kNone) {
             Cycle t = nextInterestingCycle();
             if (t == kCycleNever) {
+                if (fence != kCycleNever)
+                    break; // everyone waits on the weave, not deadlock
                 if (residentWarps_ > 0)
                     panic("SmModel: deadlock with %u resident warps "
                           "(unbalanced barriers?)",
                           residentWarps_);
                 break;
             }
-            now_ = std::max(t, now_ + 1);
+            now_ = std::min(std::max(t, now_ + 1), fence);
             continue;
         }
         issue(w);
@@ -629,21 +726,19 @@ SmModel::finalize()
         return stats_;
     finalized_ = true;
 
-    // With a private DRAM its drain time belongs to this SM; a shared
-    // chip DRAM's residual drain is accounted for by the chip model.
-    Cycle drain = dram_ == &ownDram_ ? ownDram_.nextFree() : 0;
-    Cycle tex_drain =
-        texDram_ == &ownTexDram_ ? ownTexDram_.nextFree() : 0;
+    // With a private DRAM its drain time belongs to this SM; in chip
+    // mode the residual drain (and all DRAM statistics) live at the
+    // chip's shared memory controllers.
+    Cycle drain = queue_ == nullptr ? ownDram_.nextFree() : 0;
+    Cycle tex_drain = queue_ == nullptr ? ownTexDram_.nextFree() : 0;
     stats_.cycles =
         std::max({now_, lastCompletion_, drain, tex_drain});
     stats_.dirtyLinesAtEnd = cache_.dirtyLineCount();
     stats_.cache = cache_.stats();
-    // Shared (chip-level) DRAM statistics belong to the chip model;
-    // only private DRAM traffic is reported per SM.
-    if (dram_ == &ownDram_)
+    if (queue_ == nullptr) {
         stats_.dram = ownDram_.stats();
-    if (texDram_ == &ownTexDram_)
         stats_.texDram = ownTexDram_.stats();
+    }
     stats_.sched = sched_.stats();
     return stats_;
 }

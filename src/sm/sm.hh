@@ -28,6 +28,7 @@
 #include "arch/kernel_model.hh"
 #include "core/conflict_model.hh"
 #include "mem/coalescer.hh"
+#include "mem/dram_queue.hh"
 #include "mem/footprint_cache.hh"
 #include "sched/scoreboard.hh"
 #include "sm/sm_config.hh"
@@ -42,13 +43,14 @@ class SmModel
     /**
      * @param cfg run configuration
      * @param kernel workload
-     * @param sharedDram if non-null, global accesses go through this
-     *        externally owned DRAM model instead of a private one
-     *        (chip-level co-simulation); ditto @p sharedTexDram
+     * @param chipQueue if non-null, global/texture DRAM traffic is
+     *        recorded into this externally owned queue instead of
+     *        being timed against a private DramModel; the chip-level
+     *        weave phase replays it and delivers completions through
+     *        deliverLoad()/noteDrain() (bound-weave co-simulation)
      */
     SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
-            DramModel* sharedDram = nullptr,
-            DramModel* sharedTexDram = nullptr);
+            DramRequestQueue* chipQueue = nullptr);
 
     /** Run the kernel's whole grid share to completion. */
     const SmStats& run();
@@ -75,6 +77,38 @@ class SmModel
     const SmStats& finalize();
 
     const SmStats& stats() const { return stats_; }
+
+    // -- Weave-phase delivery (deferred-DRAM mode only) --------------
+
+    /**
+     * Deliver the replayed completion of a deferred load/texture group.
+     * Pushes the wakeup event exactly as the immediate path would and,
+     * when the scoreboard entry still holds @p placeholder (i.e. no
+     * younger writer overtook the load), installs the real completion
+     * cycle in place of the sentinel.
+     */
+    void deliverLoad(u32 warp, u32 gen, RegId reg, Cycle completion,
+                     Cycle placeholder, bool trackCompletion);
+
+    /** Fold a replayed drain/completion into the end-of-run clock. */
+    void
+    noteDrain(Cycle c)
+    {
+        if (c > lastCompletion_)
+            lastCompletion_ = c;
+    }
+
+    /**
+     * True when advance() returned before its limit because an
+     * unresolved deferred completion fences further scheduling; the
+     * chip must weave before calling advance() again.
+     */
+    bool
+    stalledOnWeave(Cycle limit) const
+    {
+        return queue_ != nullptr && residentWarps_ > 0 && now_ < limit &&
+               now_ >= queue_->stallBound();
+    }
 
     /** One scheduler decision (order-trace tests and debugging). */
     struct IssueRecord
@@ -166,10 +200,24 @@ class SmModel
         u32 gen;
         RegId reg;
 
+        /**
+         * Strict total order so the heap's pop order is a function of
+         * the event multiset alone, never of insertion history. The
+         * deferred-DRAM engine pushes the same events at a different
+         * time than the immediate engine (at the weave instead of at
+         * issue), so anything weaker would let same-cycle wakeups
+         * drain in engine-dependent order.
+         */
         bool
         operator>(const LoadEvent& o) const
         {
-            return at > o.at;
+            if (at != o.at)
+                return at > o.at;
+            if (warp != o.warp)
+                return warp > o.warp;
+            if (gen != o.gen)
+                return gen > o.gen;
+            return reg > o.reg;
         }
     };
 
@@ -228,8 +276,8 @@ class SmModel
     DataCache cache_;
     DramModel ownDram_;
     DramModel ownTexDram_;
-    DramModel* dram_;    // points to ownDram_ or a shared chip DRAM
-    DramModel* texDram_; // ditto
+    /** Non-null in chip mode: record DRAM traffic instead of timing it. */
+    DramRequestQueue* queue_;
     TexUnit tex_;
 
     std::vector<WarpSlot> warps_;

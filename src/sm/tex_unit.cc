@@ -32,4 +32,23 @@ TexUnit::access(Cycle now, const WarpInstr& in)
     return ready;
 }
 
+Cycle
+TexUnit::accessDeferred(Cycle now, const WarpInstr& in,
+                        DramRequestQueue& q, u32 group)
+{
+    if (in.op != Opcode::Tex)
+        panic("TexUnit: non-texture opcode %s", opcodeName(in.op));
+
+    // Same cache evolution as the immediate path; only the fill timing
+    // moves to the weave (the group's `extra` carries latency_/4).
+    for (const CoalescedAccess& acc : coalesce(in)) {
+        if (cache_.read(acc.lineAddr))
+            continue;
+        q.recordRead(kTexDramChannel, now,
+                     kCacheLineBytes / kDramSectorBytes, group, false);
+        cache_.fill(acc.lineAddr);
+    }
+    return now + latency_;
+}
+
 } // namespace unimem

@@ -13,6 +13,7 @@
 #include "arch/warp_instr.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/dram_queue.hh"
 
 namespace unimem {
 
@@ -32,6 +33,18 @@ class TexUnit
      * @return cycle at which the result is available.
      */
     Cycle access(Cycle now, const WarpInstr& in);
+
+    /**
+     * Deferred variant for chip co-simulation: probe and fill the
+     * private cache exactly as access() would, but record the miss
+     * fills into @p q under @p group instead of calling DRAM. The
+     * final completion is resolved by the chip's weave phase as
+     * max(returned base, max over fills of (fill + latency/4)).
+     * @return the pipeline-only completion (now + latency), i.e. the
+     *         group's "known" completion contribution.
+     */
+    Cycle accessDeferred(Cycle now, const WarpInstr& in,
+                         DramRequestQueue& q, u32 group);
 
     const CacheStats& cacheStats() const { return cache_.stats(); }
 

@@ -1,11 +1,24 @@
 /**
  * @file
  * Tests for chip-level co-simulation: equivalence with the single-SM
- * methodology at proportional bandwidth, DRAM contention effects, and
- * bookkeeping invariants.
+ * methodology at proportional bandwidth, DRAM contention effects,
+ * bookkeeping invariants, and a golden snapshot of the Section 5.1
+ * chip-vs-scaled-single-SM validation table.
+ *
+ * The golden file lives in tests/golden/chip_validation.golden;
+ * regenerate with
+ *   UNIMEM_UPDATE_GOLDEN=1 ./test_chip --gtest_filter='ChipGolden.*'
+ * and commit the diff.
  */
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
 
 #include "kernels/registry.hh"
 #include "sim/simulator.hh"
@@ -133,6 +146,120 @@ TEST(Chip, PerSmSeedsDiversifyTraces)
     auto k2 = createBenchmark("bfs", 0.05);
     ChipModel chip2(chip_cfg, *k2);
     EXPECT_EQ(chip2.run().cycles, cs.cycles);
+}
+
+// ---- Golden snapshot of the Section 5.1 validation table --------------
+
+constexpr double kGoldenScale = 0.1;
+constexpr u32 kGoldenSms = 4;
+constexpr double kGoldenTolerance = 0.01; // 1% relative drift budget
+
+std::string
+goldenPath()
+{
+    return std::string(UNIMEM_SOURCE_DIR) +
+           "/tests/golden/chip_validation.golden";
+}
+
+struct ChipGoldenRow
+{
+    std::string name;
+    double singleCycles = 0.0;
+    double chipMaxCycles = 0.0;
+    double error = 0.0; // chip max-SM over single-SM, minus 1
+};
+
+std::vector<ChipGoldenRow>
+computeChipValidationRows()
+{
+    std::vector<ChipGoldenRow> rows;
+    for (const char* name :
+         {"vectoradd", "sgemv", "bfs", "hotspot", "needle"}) {
+        auto k = createBenchmark(name, kGoldenScale);
+        SmRunConfig cfg = smConfigFor(*k);
+        SmStats single = runKernel(cfg, *k);
+
+        ChipConfig chip_cfg;
+        chip_cfg.numSms = kGoldenSms;
+        chip_cfg.chipDramBytesPerCycle =
+            kGoldenSms * cfg.dramBytesPerCycle;
+        chip_cfg.sm = cfg;
+        auto kc = createBenchmark(name, kGoldenScale);
+        ChipModel chip(chip_cfg, *kc);
+        const ChipStats& cs = chip.run();
+
+        ChipGoldenRow r;
+        r.name = name;
+        r.singleCycles = static_cast<double>(single.cycles);
+        r.chipMaxCycles = static_cast<double>(cs.maxSmCycles());
+        r.error = r.chipMaxCycles / r.singleCycles - 1.0;
+        rows.push_back(r);
+    }
+    return rows;
+}
+
+TEST(ChipGolden, ValidationTableMatchesGoldenFile)
+{
+    std::vector<ChipGoldenRow> rows = computeChipValidationRows();
+
+    if (std::getenv("UNIMEM_UPDATE_GOLDEN")) {
+        std::ofstream os(goldenPath());
+        ASSERT_TRUE(os) << "cannot write " << goldenPath();
+        os << "# chip validation golden (paper Section 5.1: single-SM "
+              "methodology vs\n"
+           << "# " << kGoldenSms
+           << "-SM bound-weave co-simulation at proportional "
+              "bandwidth, scale "
+           << kGoldenScale << ")\n"
+           << "# columns: benchmark single_sm_cycles chip_max_sm_cycles "
+              "error\n"
+           << "# regenerate: UNIMEM_UPDATE_GOLDEN=1 ./test_chip "
+              "--gtest_filter='ChipGolden.*'\n";
+        os.precision(17);
+        for (const ChipGoldenRow& r : rows)
+            os << r.name << " " << r.singleCycles << " "
+               << r.chipMaxCycles << " " << r.error << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << goldenPath();
+    }
+
+    std::ifstream is(goldenPath());
+    ASSERT_TRUE(is) << "missing golden file " << goldenPath()
+                    << " - regenerate with UNIMEM_UPDATE_GOLDEN=1";
+
+    std::map<std::string, ChipGoldenRow> golden;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        ChipGoldenRow r;
+        ASSERT_TRUE(static_cast<bool>(ls >> r.name >> r.singleCycles >>
+                                      r.chipMaxCycles >> r.error))
+            << "malformed golden line: " << line;
+        golden[r.name] = r;
+    }
+    ASSERT_EQ(golden.size(), rows.size())
+        << "golden file kernel set diverged - regenerate";
+
+    auto within = [](double got, double want) {
+        double denom = std::max(std::abs(want), 1e-12);
+        return std::abs(got - want) / denom <= kGoldenTolerance;
+    };
+    for (const ChipGoldenRow& r : rows) {
+        ASSERT_TRUE(golden.count(r.name)) << r.name;
+        const ChipGoldenRow& g = golden[r.name];
+        EXPECT_TRUE(within(r.singleCycles, g.singleCycles))
+            << r.name << " single-SM cycles drifted: got "
+            << r.singleCycles << ", golden " << g.singleCycles;
+        EXPECT_TRUE(within(r.chipMaxCycles, g.chipMaxCycles))
+            << r.name << " chip max-SM cycles drifted: got "
+            << r.chipMaxCycles << ", golden " << g.chipMaxCycles;
+        // The error column is derived; tolerate absolute drift of one
+        // tolerance unit (relative checks degenerate near zero).
+        EXPECT_LE(std::abs(r.error - g.error), kGoldenTolerance)
+            << r.name << " methodology error drifted: got " << r.error
+            << ", golden " << g.error;
+    }
 }
 
 TEST(Chip, MinMaxSmCycleBookkeeping)

@@ -17,6 +17,12 @@
  *   --scale=F           workload scale     (default 0.5)
  *   --jobs=N            sweep worker threads (default: UNIMEM_JOBS or
  *                       all hardware threads; sweeps only)
+ *   --chip-jobs=N       chip bound-phase workers (default:
+ *                       UNIMEM_CHIP_JOBS or all hardware threads,
+ *                       capped to --sms; results are identical for
+ *                       any value; chip only)
+ *   --quantum=N         chip co-simulation quantum in cycles
+ *                       (default 64; chip only)
  *   --threads=N         thread limit
  *   --regs=N            registers/thread override
  *   --write-back        write-back cache ablation
@@ -248,6 +254,8 @@ cmdChip(const CliArgs& args)
     cc.numSms = sms;
     cc.chipDramBytesPerCycle =
         static_cast<u32>(args.getInt("chip-bw", sms * 8));
+    cc.workers = static_cast<u32>(args.getInt("chip-jobs", 0));
+    cc.quantum = static_cast<Cycle>(args.getInt("quantum", 64));
     cc.sm.design = spec.design == DesignKind::FermiLike
                        ? DesignKind::Partitioned
                        : spec.design;
@@ -267,7 +275,17 @@ cmdChip(const CliArgs& args)
               << ")\n"
               << "  total warp instrs " << cs.warpInstrs()
               << ", chip dram sectors "
-              << cs.dram.sectors() + cs.texDram.sectors() << "\n";
+              << cs.dram.sectors() + cs.texDram.sectors() << "\n"
+              << "  bound-weave: " << cs.workersUsed << " worker"
+              << (cs.workersUsed == 1 ? "" : "s") << ", "
+              << cs.windows << " windows, " << cs.boundPasses
+              << " bound passes, " << cs.weaveRequests
+              << " replayed requests, quantum util "
+              << Table::num(cs.quantumUtilization() * 100.0, 1)
+              << "%\n"
+              << "  finish skew " << cs.finishSkew()
+              << " cycles (imbalance "
+              << Table::num(cs.loadImbalance() * 100.0, 1) << "%)\n";
 
     SimResult single = simulateBenchmark(name, scale, spec);
     std::cout << "  single-SM methodology: " << single.cycles()
