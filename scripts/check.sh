@@ -1,21 +1,29 @@
 #!/usr/bin/env bash
 # Repo verification gate:
 #   1. tier-1: configure, build, and run the full ctest suite
-#   2. lint: run the static kernel-model analyzer over all shipped
-#      kernels with warnings promoted to errors (tools/unimem_lint)
+#   2. lint: run every analysis pass — including the simulation-backed
+#      bank-conflict cross-check and the chip-ownership auditor — over
+#      all shipped kernels with warnings promoted to errors
+#      (tools/unimem_lint --all-passes); the machine-readable report is
+#      written to build/lint_report.json for CI to archive
 #   3. concurrency: rebuild the sweep and bound-weave chip engines
 #      under ThreadSanitizer and run test_sweep plus
 #      test_chip_determinism (randomized ChipConfig stress) to catch
 #      data races the functional suite cannot see
-#   4. memory: rebuild the analyzer and integration tests under
+#   4. ownership: rebuild test_chip_determinism in Debug (auditing
+#      defaults on) with UNIMEM_OWNERSHIP_AUDIT=1 so any cross-actor
+#      access during a bound phase panics deterministically — the
+#      by-construction complement to TSan's timing-dependent detection
+#   5. memory: rebuild the analyzer and integration tests under
 #      AddressSanitizer+UBSan and run them with halt_on_error
-#   5. tidy (opt-in via --tidy): clang-tidy over src/ using the compile
+#   6. tidy (opt-in via --tidy): clang-tidy over src/ using the compile
 #      database; skipped with a notice when clang-tidy is absent
 #
 # Usage: scripts/check.sh [--tier1-only] [--tsan-only] [--asan-only]
-#                         [--lint-only] [--tidy]
-# Sanitizer trees live in build-tsan/ and build-asan/ so they never
-# pollute the main build; all build trees are .gitignore'd.
+#                         [--lint-only] [--ownership-only] [--tidy]
+# Sanitizer and debug trees live in build-tsan/, build-asan/, and
+# build-debug/ so they never pollute the main build; all build trees
+# are .gitignore'd.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,14 +32,16 @@ JOBS=${JOBS:-$(nproc)}
 run_tier1=1
 run_lint=1
 run_tsan=1
+run_ownership=1
 run_asan=1
 run_tidy=0
 for arg in "$@"; do
     case "$arg" in
-      --tier1-only) run_lint=0; run_tsan=0; run_asan=0 ;;
-      --lint-only)  run_tier1=0; run_tsan=0; run_asan=0 ;;
-      --tsan-only)  run_tier1=0; run_lint=0; run_asan=0 ;;
-      --asan-only)  run_tier1=0; run_lint=0; run_tsan=0 ;;
+      --tier1-only) run_lint=0; run_tsan=0; run_ownership=0; run_asan=0 ;;
+      --lint-only)  run_tier1=0; run_tsan=0; run_ownership=0; run_asan=0 ;;
+      --tsan-only)  run_tier1=0; run_lint=0; run_ownership=0; run_asan=0 ;;
+      --ownership-only) run_tier1=0; run_lint=0; run_tsan=0; run_asan=0 ;;
+      --asan-only)  run_tier1=0; run_lint=0; run_tsan=0; run_ownership=0 ;;
       --tidy)       run_tidy=1 ;;
       *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
@@ -45,12 +55,17 @@ if [[ $run_tier1 -eq 1 ]]; then
 fi
 
 if [[ $run_lint -eq 1 ]]; then
-    echo "=== lint: static kernel-model analysis (-Werror) ==="
+    echo "=== lint: all analysis passes (-Werror) ==="
     if [[ ! -x build/tools/unimem_lint ]]; then
         cmake -B build -S . >/dev/null
         cmake --build build -j "$JOBS" --target unimem_lint
     fi
-    ./build/tools/unimem_lint --Werror --jobs="$JOBS"
+    # --all-passes adds the simulation-backed gates (bank-conflict
+    # differential cross-check, chip-ownership audit) to the static
+    # ones. The JSON report is the CI artifact; the summary line it
+    # prints on stderr is the console evidence.
+    ./build/tools/unimem_lint --Werror --all-passes --jobs="$JOBS" \
+        --json > build/lint_report.json
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
@@ -65,6 +80,16 @@ if [[ $run_tsan -eq 1 ]]; then
     TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_sweep
     TSAN_OPTIONS="halt_on_error=1" \
         ./build-tsan/tests/test_chip_determinism
+fi
+
+if [[ $run_ownership -eq 1 ]]; then
+    echo "=== ownership audit: bound-phase isolation (Debug) ==="
+    cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
+    cmake --build build-debug -j "$JOBS" --target test_chip_determinism
+    # Auditing defaults on in Debug; the env var pins it on explicitly.
+    # Any cross-actor access panics, so a violation is a hard failure
+    # at every worker count the suite sweeps (1/2/4/8).
+    UNIMEM_OWNERSHIP_AUDIT=1 ./build-debug/tests/test_chip_determinism
 fi
 
 if [[ $run_asan -eq 1 ]]; then

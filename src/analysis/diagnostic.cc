@@ -35,6 +35,18 @@ diagName(DiagId id)
       case DiagId::EmptyActiveMask: return "empty-active-mask";
       case DiagId::BadAccessBytes: return "bad-access-bytes";
       case DiagId::LowOrfCapture: return "low-orf-capture";
+      case DiagId::BarrierDivergence: return "barrier-divergence";
+      case DiagId::TraceBoundExceeded: return "trace-bound-exceeded";
+      case DiagId::DeadLoadOverwrite: return "dead-load-overwrite";
+      case DiagId::OrfWindowWaw: return "orf-window-waw";
+      case DiagId::AllocInfeasibleLaunch:
+        return "alloc-infeasible-launch";
+      case DiagId::AllocOverSubscribed: return "alloc-over-subscribed";
+      case DiagId::AllocPartitionOverlap:
+        return "alloc-partition-overlap";
+      case DiagId::BankConflictMismatch:
+        return "bank-conflict-mismatch";
+      case DiagId::OwnershipViolation: return "ownership-violation";
     }
     panic("diagName: bad diag id %d", static_cast<int>(id));
 }
@@ -43,17 +55,51 @@ Severity
 diagDefaultSeverity(DiagId id)
 {
     switch (id) {
-      // Advisory metrics: never gate the suite.
+      // Advisory metrics: never gate the suite. Dead loads and
+      // window WAWs are wasted work, not broken semantics — the
+      // synthetic benchmark generators produce both routinely.
       case DiagId::LowOrfCapture:
+      case DiagId::OrfWindowWaw:
+      case DiagId::DeadLoadOverwrite:
         return Severity::Info;
       // Suspicious but survivable: the coalescer/cache handle these;
       // they usually indicate an address-generation sloppiness, not a
-      // model-corrupting bug.
+      // model-corrupting bug. A truncated whole-trace scan likewise
+      // weakens a proof without evidencing a defect.
       case DiagId::MisalignedAddress:
+      case DiagId::TraceBoundExceeded:
         return Severity::Warning;
       default:
         return Severity::Error;
     }
+}
+
+void
+verifyDiagRegistry()
+{
+    // Dense and unique: every id names itself and no name repeats.
+    for (u32 i = 0; i < kNumDiagIds; ++i) {
+        const char* name = diagName(static_cast<DiagId>(i));
+        if (name == nullptr || name[0] == '\0')
+            panic("verifyDiagRegistry: id %u has no name", i);
+        for (char c : std::string(name))
+            if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '-'))
+                panic("verifyDiagRegistry: '%s' is not kebab-case",
+                      name);
+        for (u32 j = 0; j < i; ++j)
+            if (std::string(name) == diagName(static_cast<DiagId>(j)))
+                panic("verifyDiagRegistry: ids %u and %u share '%s'", j,
+                      i, name);
+        severityName(diagDefaultSeverity(static_cast<DiagId>(i)));
+    }
+    // Anchors external tooling keys on: appending ids is fine,
+    // renumbering is not.
+    if (static_cast<u32>(DiagId::ReadBeforeWrite) != 0 ||
+        static_cast<u32>(DiagId::LowOrfCapture) != 14 ||
+        static_cast<u32>(DiagId::BarrierDivergence) != 15 ||
+        static_cast<u32>(DiagId::OwnershipViolation) != 23)
+        panic("verifyDiagRegistry: stable ids were renumbered");
 }
 
 std::string
@@ -82,12 +128,20 @@ DiagnosticEngine::report(DiagId id, const DiagLoc& loc, std::string message)
     std::string key = std::to_string(static_cast<u32>(id)) + "|" +
                       loc.kernel + "|" + std::to_string(loc.ctaId) + "|" +
                       std::to_string(loc.warpInCta) + "|" + message;
+    Severity sev = diagDefaultSeverity(id);
+    if (opt_.werror && sev == Severity::Warning)
+        sev = Severity::Error;
+    if (sev < opt_.minSeverity) {
+        ++filtered_;
+        return;
+    }
     auto it = index_.find(key);
     if (it != index_.end()) {
         ++diags_[it->second].occurrences;
         return;
     }
-    if (sitesPerId_[static_cast<u32>(id)] >= opt_.maxSitesPerId) {
+    if (sitesPerId_[static_cast<u32>(id)] >= opt_.maxSitesPerId ||
+        (opt_.maxTotalSites != 0 && diags_.size() >= opt_.maxTotalSites)) {
         ++suppressed_;
         return;
     }
@@ -95,9 +149,7 @@ DiagnosticEngine::report(DiagId id, const DiagLoc& loc, std::string message)
 
     Diagnostic d;
     d.id = id;
-    d.severity = diagDefaultSeverity(id);
-    if (opt_.werror && d.severity == Severity::Warning)
-        d.severity = Severity::Error;
+    d.severity = sev;
     d.loc = loc;
     d.message = std::move(message);
     index_.emplace(std::move(key), diags_.size());
@@ -145,6 +197,7 @@ DiagnosticEngine::merge(const DiagnosticEngine& other)
         }
     }
     suppressed_ += other.suppressed_;
+    filtered_ += other.filtered_;
 }
 
 void

@@ -34,8 +34,16 @@ enum class Severity : u8
 
 const char* severityName(Severity s);
 
-/** Every check the analyzer can report (DESIGN.md Section 7). */
-enum class DiagId : u8
+/**
+ * Every check the analyzer can report (DESIGN.md Sections 7 and 11).
+ *
+ * The underlying value of an id is part of the stable machine-readable
+ * interface (JSON reports, suppression lists), so new ids are only ever
+ * appended and the type is wide enough that the registry can keep
+ * growing; verifyDiagRegistry() asserts the name table stays dense,
+ * unique and stable.
+ */
+enum class DiagId : u16
 {
     // (a) dataflow
     ReadBeforeWrite, ///< register read with no prior def, not live-in
@@ -61,15 +69,43 @@ enum class DiagId : u8
 
     // (e) derived-metric advisories
     LowOrfCapture, ///< ORF-reachable read fraction below the paper's band
+
+    // (f) barrier synchronization (analysis/pass_barrier.cc)
+    BarrierDivergence,  ///< warps of one CTA reach unequal Bar counts
+    TraceBoundExceeded, ///< whole-trace scan hit its instruction budget
+
+    // (g) register hazards across ORF capture windows
+    DeadLoadOverwrite, ///< LL-load result overwritten with zero reads
+    OrfWindowWaw,      ///< same-window redefinition with zero reads
+
+    // (h) unified-pool allocation legality
+    AllocInfeasibleLaunch,  ///< allocation cannot fit the launch shape
+    AllocOverSubscribed,    ///< partitions exceed the pool capacity
+    AllocPartitionOverlap,  ///< cache/scratch/RF partition overlap
+
+    // (i) differential simulator cross-checks
+    BankConflictMismatch, ///< static predictor vs simulator accounting
+
+    // (j) bound-phase determinism (common/ownership.hh auditor)
+    OwnershipViolation, ///< cross-SM access during the bound phase
 };
 
-constexpr u32 kNumDiagIds = static_cast<u32>(DiagId::LowOrfCapture) + 1;
+constexpr u32 kNumDiagIds =
+    static_cast<u32>(DiagId::OwnershipViolation) + 1;
 
 /** Stable kebab-case name, e.g. "read-before-write". */
 const char* diagName(DiagId id);
 
 /** Built-in severity of @p id before any -Werror promotion. */
 Severity diagDefaultSeverity(DiagId id);
+
+/**
+ * Assert the diagnostic registry's integrity: every id in
+ * [0, kNumDiagIds) has a non-empty kebab-case name, no two ids share a
+ * name, and the anchor ids that external tooling keys on have not been
+ * renumbered. Panics on violation; called from unimem_lint and tests.
+ */
+void verifyDiagRegistry();
 
 /** Where a diagnostic fired. */
 struct DiagLoc
@@ -110,6 +146,18 @@ struct DiagnosticOptions
 
     /** Distinct stored sites per DiagId; further ones are counted. */
     u32 maxSitesPerId = 16;
+
+    /**
+     * Findings below this severity (after -Werror promotion) are
+     * discarded without being stored or counted as suppressed.
+     */
+    Severity minSeverity = Severity::Info;
+
+    /**
+     * Global cap on stored sites across all ids (--max-diags);
+     * 0 means unlimited. Overflow sites count as suppressed.
+     */
+    u64 maxTotalSites = 0;
 };
 
 /**
@@ -142,8 +190,11 @@ class DiagnosticEngine
     /** Deduplicated sites with the given id. */
     u64 countOf(DiagId id) const;
 
-    /** Sites dropped by the per-id cap. */
+    /** Sites dropped by the per-id or global cap. */
     u64 suppressedCount() const { return suppressed_; }
+
+    /** Reports discarded by the minSeverity filter. */
+    u64 filteredCount() const { return filtered_; }
 
     bool hasErrors() const { return count(Severity::Error) > 0; }
 
@@ -166,6 +217,7 @@ class DiagnosticEngine
     std::array<u64, kNumDiagIds> sitesPerId_{};
 
     u64 suppressed_ = 0;
+    u64 filtered_ = 0;
 };
 
 } // namespace unimem

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/liveness.hh"
+#include "analysis/pass.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 
@@ -342,29 +343,65 @@ lintWarp(const KernelModel& kernel, const WarpCtx& ctx,
     checker.finish();
 }
 
-LintReport
-lintKernel(const KernelModel& kernel, const LintOptions& opt)
+namespace {
+
+/**
+ * The original analyzer as a pass: per-instruction invariants over the
+ * sampled warp prefixes plus the derived-metric advisories.
+ */
+class WarpInvariantsPass : public AnalysisPass
 {
-    const KernelParams& kp = kernel.params();
-    LintReport report;
-    report.kernel = kp.name;
-    report.diags = DiagnosticEngine(opt.diagOptions());
+  public:
+    const char* name() const override { return "warp-invariants"; }
 
-    for (const WarpCtx& ctx : lintWarpSamples(kp, opt))
-        lintWarp(kernel, ctx, opt, report.diags, report.metrics);
-
-    if (report.metrics.regReads > 0 &&
-        report.metrics.orfReachableFraction() < opt.orfAdvisoryFloor) {
-        DiagLoc loc;
-        loc.kernel = kp.name;
-        report.diags.report(
-            DiagId::LowOrfCapture, loc,
-            strprintf("ORF-reachable read fraction %.2f is below the "
-                      "Section 2.1 band (floor %.2f)",
-                      report.metrics.orfReachableFraction(),
-                      opt.orfAdvisoryFloor));
+    const char*
+    description() const override
+    {
+        return "per-instruction shape/register/address invariants over "
+               "sampled warp trace prefixes";
     }
-    return report;
+
+    void
+    run(AnalysisContext& ctx, DiagnosticEngine& diags,
+        PassResult& out) override
+    {
+        const KernelParams& kp = ctx.kp();
+        const LintOptions& opt = ctx.options();
+        for (const WarpCtx& wc : ctx.warpSamples())
+            lintWarp(ctx.kernel(), wc, opt, diags, out.metrics);
+
+        if (out.metrics.regReads > 0 &&
+            out.metrics.orfReachableFraction() < opt.orfAdvisoryFloor) {
+            DiagLoc loc;
+            loc.kernel = kp.name;
+            diags.report(
+                DiagId::LowOrfCapture, loc,
+                strprintf("ORF-reachable read fraction %.2f is below "
+                          "the Section 2.1 band (floor %.2f)",
+                          out.metrics.orfReachableFraction(),
+                          opt.orfAdvisoryFloor));
+        }
+
+        out.stat("instrs", static_cast<double>(out.metrics.instrs));
+        out.stat("mem_ops", static_cast<double>(out.metrics.memOps));
+        out.stat("shared_ops",
+                 static_cast<double>(out.metrics.sharedOps));
+        out.stat("reg_pressure",
+                 static_cast<double>(out.metrics.regPressure));
+        out.stat("orf_fraction", out.metrics.orfReachableFraction());
+        out.stat("shared_degree_avg",
+                 out.metrics.avgSharedConflictDegree());
+        out.stat("shared_degree_max",
+                 static_cast<double>(out.metrics.sharedDegreeMax));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<AnalysisPass>
+makeWarpInvariantsPass()
+{
+    return std::make_unique<WarpInvariantsPass>();
 }
 
 std::string

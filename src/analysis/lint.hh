@@ -55,11 +55,26 @@ struct LintOptions
     /** Launch seeds to sample (distinct WarpCtx shapes per seed). */
     std::vector<u64> seeds = {1, 2};
 
+    /**
+     * Whole-trace instruction budget of the barrier-sync pass, spent
+     * across all scanned warps of one kernel. Exhausting it truncates
+     * the proof and raises trace-bound-exceeded (warning).
+     */
+    u64 barrierScanBudget = u64(16) << 20;
+
+    /** Findings below this severity are discarded (see DiagnosticOptions). */
+    Severity minSeverity = Severity::Info;
+
+    /** Global stored-finding cap (--max-diags); 0 = unlimited. */
+    u64 maxTotalSites = 0;
+
     DiagnosticOptions
     diagOptions() const
     {
         DiagnosticOptions o;
         o.werror = werror;
+        o.minSeverity = minSeverity;
+        o.maxTotalSites = maxTotalSites;
         return o;
     }
 };
@@ -102,12 +117,40 @@ struct LintMetrics
     void merge(const LintMetrics& o);
 };
 
+/**
+ * Summary one analysis pass leaves behind (analysis/pass.hh). The
+ * findings themselves land in the report's shared DiagnosticEngine;
+ * this carries the pass's aggregate numbers for the JSON report.
+ */
+struct PassResult
+{
+    std::string pass;
+
+    /** Warp-prefix metrics (meaningful for the warp-invariants pass). */
+    LintMetrics metrics;
+
+    /** Named summary statistics, in deterministic emission order. */
+    std::vector<std::pair<std::string, double>> stats;
+
+    void
+    stat(const std::string& name, double value)
+    {
+        stats.emplace_back(name, value);
+    }
+};
+
 /** Everything one lintKernel() call produces. */
 struct LintReport
 {
     std::string kernel;
+
+    /** Warp-invariants metrics (empty if that pass did not run). */
     LintMetrics metrics;
+
     DiagnosticEngine diags;
+
+    /** One entry per executed pass, in execution order. */
+    std::vector<PassResult> passes;
 
     u64 errors() const { return diags.count(Severity::Error); }
     u64 warnings() const { return diags.count(Severity::Warning); }
@@ -135,9 +178,17 @@ void lintWarp(const KernelModel& kernel, const WarpCtx& ctx,
               const LintOptions& opt, DiagnosticEngine& diags,
               LintMetrics& metrics);
 
-/** Lint every sampled warp of @p kernel. */
+/**
+ * Run the default analysis pass set over @p kernel (analysis/pass.hh).
+ * Backward compatible with the original single-pass analyzer: the
+ * warp-invariants pass reproduces its findings and metrics exactly.
+ */
 LintReport lintKernel(const KernelModel& kernel,
                       const LintOptions& opt = {});
+
+/** Run an explicit pass-name list (unknown names are fatal). */
+LintReport lintKernel(const KernelModel& kernel, const LintOptions& opt,
+                      const std::vector<std::string>& passNames);
 
 } // namespace unimem
 

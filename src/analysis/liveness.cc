@@ -14,6 +14,7 @@ TraceLiveness::TraceLiveness(u32 numRegs, u32 liveInRegs, u32 orfEntries)
     for (u32 r = 0; r < n; ++r) {
         regs_[r].defPos = 0;
         regs_[r].lastUse = 0;
+        regs_[r].liveIn = true;
     }
     recency_.reserve(orfCapacity_ + 1);
 }
@@ -41,13 +42,31 @@ TraceLiveness::closeInterval(const RegState& st)
 }
 
 void
-TraceLiveness::def(RegId r)
+TraceLiveness::def(RegId r, bool isLoad)
 {
     if (r >= regs_.size())
         return;
-    closeInterval(regs_[r]);
-    regs_[r].defPos = pos_;
-    regs_[r].lastUse = pos_;
+    RegState& st = regs_[r];
+
+    // A live, never-read definition being overwritten is a hazard:
+    // classify by what produced it. Unused live-ins are fine (kernels
+    // routinely ignore some of their inputs).
+    if (hazardSink_ && st.defPos != RegState::kNoDef &&
+        st.lastUse <= st.defPos && !st.liveIn) {
+        if (st.defIsLoad)
+            hazardSink_({HazardEvent::Kind::DeadLoadOverwrite, r,
+                         st.defPos, pos_});
+        else if (std::find(recency_.begin(), recency_.end(), r) !=
+                 recency_.end())
+            hazardSink_(
+                {HazardEvent::Kind::WindowWaw, r, st.defPos, pos_});
+    }
+
+    closeInterval(st);
+    st.defPos = pos_;
+    st.lastUse = pos_;
+    st.defIsLoad = isLoad;
+    st.liveIn = false;
 
     auto it = std::find(recency_.begin(), recency_.end(), r);
     if (it != recency_.end())
@@ -64,7 +83,7 @@ TraceLiveness::step(const WarpInstr& in)
         if (in.src[s] != kInvalidReg)
             use(in.src[s]);
     if (in.hasDst())
-        def(in.dst);
+        def(in.dst, isLoad(in.op));
     ++pos_;
 }
 

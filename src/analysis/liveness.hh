@@ -20,6 +20,7 @@
 #ifndef UNIMEM_ANALYSIS_LIVENESS_HH
 #define UNIMEM_ANALYSIS_LIVENESS_HH
 
+#include <functional>
 #include <vector>
 
 #include "arch/warp_instr.hh"
@@ -49,6 +50,32 @@ struct LivenessSummary
 };
 
 /**
+ * One register hazard the analyzer observed: a definition overwritten
+ * before any read. Which kind depends on the overwritten producer —
+ * a long-latency load result thrown away is wasted DRAM traffic, a
+ * zero-read redefinition inside the LRF+ORF recency window is a WAW
+ * the capture hierarchy silently absorbs (analysis/pass_reghazard.cc
+ * turns these into diagnostics).
+ */
+struct HazardEvent
+{
+    enum class Kind : u8
+    {
+        DeadLoadOverwrite, ///< overwritten def was a memory load
+        WindowWaw,         ///< redefined while still in the ORF window
+    };
+
+    Kind kind;
+    RegId reg;
+
+    /** Trace position of the overwritten definition. */
+    u64 defPos;
+
+    /** Trace position of the overwriting definition. */
+    u64 redefPos;
+};
+
+/**
  * Streaming liveness/def-use analyzer. Feed instructions in trace order
  * with step(); call finish() once for the summary.
  *
@@ -69,15 +96,29 @@ class TraceLiveness
 
     LivenessSummary finish();
 
+    /** Receive hazard events as they are discovered (empty disables). */
+    void
+    setHazardSink(std::function<void(const HazardEvent&)> sink)
+    {
+        hazardSink_ = std::move(sink);
+    }
+
   private:
     void use(RegId r);
-    void def(RegId r);
+    void def(RegId r, bool isLoad);
 
     struct RegState
     {
         /** Position of the live definition, or kNoDef. */
         u64 defPos = kNoDef;
         u64 lastUse = 0;
+
+        /** The live definition came from a memory load. */
+        bool defIsLoad = false;
+
+        /** The live definition is a kernel live-in, not a trace def. */
+        bool liveIn = false;
+
         static constexpr u64 kNoDef = ~u64(0);
     };
 
@@ -93,6 +134,7 @@ class TraceLiveness
 
     u64 pos_ = 0;
     LivenessSummary summary_;
+    std::function<void(const HazardEvent&)> hazardSink_;
 
     /** (position, +1 at start / -1 past end) liveness events. */
     std::vector<std::pair<u64, i32>> events_;

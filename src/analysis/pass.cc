@@ -1,0 +1,140 @@
+#include "analysis/pass.hh"
+
+#include "common/log.hh"
+#include "sim/simulator.hh"
+
+namespace unimem {
+
+const std::vector<WarpCtx>&
+AnalysisContext::warpSamples()
+{
+    if (!samples_)
+        samples_ = lintWarpSamples(kp(), opt_);
+    return *samples_;
+}
+
+const AllocationDecision&
+AnalysisContext::allocation(DesignKind design)
+{
+    auto& slot = allocs_[static_cast<u32>(design)];
+    if (!slot) {
+        RunSpec spec;
+        spec.design = design;
+        slot = resolveAllocation(kp(), spec);
+    }
+    return *slot;
+}
+
+const std::vector<PassInfo>&
+allPasses()
+{
+    // Canonical execution order: cheap static proofs first, then the
+    // passes that run simulations.
+    static const std::vector<PassInfo> table = {
+        {"warp-invariants",
+         "per-instruction shape/register/address invariants over "
+         "sampled warp trace prefixes",
+         true, makeWarpInvariantsPass},
+        {"barrier-sync",
+         "whole-trace proof that every warp of a CTA reaches each "
+         "barrier the same number of times",
+         true, makeBarrierSyncPass},
+        {"register-hazard",
+         "WAR/WAW hygiene across ORF capture windows and "
+         "unified-pool allocation legality",
+         true, makeRegisterHazardPass},
+        {"bank-conflict-xcheck",
+         "differential cross-check of the static shared-memory "
+         "conflict predictor against simulator accounting",
+         false, makeBankConflictXcheckPass},
+        {"chip-ownership",
+         "bound-weave chip run with the ownership auditor armed "
+         "(no cross-SM access during the bound phase)",
+         false, makeChipOwnershipPass},
+    };
+    return table;
+}
+
+const PassInfo*
+findPass(const std::string& name)
+{
+    for (const PassInfo& p : allPasses())
+        if (name == p.name)
+            return &p;
+    return nullptr;
+}
+
+std::vector<std::string>
+defaultPassNames()
+{
+    std::vector<std::string> names;
+    for (const PassInfo& p : allPasses())
+        if (p.inDefaultSet)
+            names.push_back(p.name);
+    return names;
+}
+
+void
+verifyPassRegistry()
+{
+    verifyDiagRegistry();
+    const std::vector<PassInfo>& table = allPasses();
+    if (table.empty())
+        panic("verifyPassRegistry: no passes registered");
+    for (size_t i = 0; i < table.size(); ++i) {
+        const PassInfo& p = table[i];
+        if (p.name == nullptr || p.name[0] == '\0')
+            panic("verifyPassRegistry: pass %zu has no name", i);
+        for (char c : std::string(p.name))
+            if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '-'))
+                panic("verifyPassRegistry: '%s' is not kebab-case",
+                      p.name);
+        if (p.description == nullptr || p.description[0] == '\0')
+            panic("verifyPassRegistry: pass '%s' has no description",
+                  p.name);
+        for (size_t j = 0; j < i; ++j)
+            if (std::string(p.name) == table[j].name)
+                panic("verifyPassRegistry: duplicate pass '%s'", p.name);
+        if (p.create == nullptr)
+            panic("verifyPassRegistry: pass '%s' has no factory",
+                  p.name);
+        std::unique_ptr<AnalysisPass> inst = p.create();
+        if (inst == nullptr || std::string(inst->name()) != p.name)
+            panic("verifyPassRegistry: pass '%s' factory mismatch",
+                  p.name);
+    }
+}
+
+LintReport
+lintKernel(const KernelModel& kernel, const LintOptions& opt,
+           const std::vector<std::string>& passNames)
+{
+    LintReport report;
+    report.kernel = kernel.params().name;
+    report.diags = DiagnosticEngine(opt.diagOptions());
+
+    AnalysisContext ctx(kernel, opt);
+    for (const std::string& name : passNames) {
+        const PassInfo* info = findPass(name);
+        if (info == nullptr)
+            fatal("lintKernel: unknown analysis pass '%s'",
+                  name.c_str());
+        std::unique_ptr<AnalysisPass> pass = info->create();
+        PassResult result;
+        result.pass = info->name;
+        pass->run(ctx, report.diags, result);
+        if (name == "warp-invariants")
+            report.metrics = result.metrics;
+        report.passes.push_back(std::move(result));
+    }
+    return report;
+}
+
+LintReport
+lintKernel(const KernelModel& kernel, const LintOptions& opt)
+{
+    return lintKernel(kernel, opt, defaultPassNames());
+}
+
+} // namespace unimem

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Whole-trace analysis pass framework (DESIGN.md Section 11).
+ *
+ * The single-warp checker of lint.cc generalizes to a set of named
+ * verifier passes sharing one per-kernel AnalysisContext. Each pass
+ * proves (or refutes) one invariant the simulator's correctness rests
+ * on and reports violations through the common DiagnosticEngine:
+ *
+ *  - warp-invariants: the original per-instruction checker over the
+ *    sampled warp prefixes (shape, registers, address spaces) plus the
+ *    static metric advisories;
+ *  - barrier-sync: every warp of a CTA reaches each barrier the same
+ *    number of times, proven by counting Bar instructions over whole
+ *    warp traces (straight-line traces make count equality a full
+ *    alignment proof);
+ *  - register-hazard: WAR/WAW hygiene across ORF capture windows
+ *    (dead long-latency-load overwrites, zero-read same-window
+ *    redefinitions) and unified-pool allocation legality;
+ *  - bank-conflict-xcheck: differential cross-check of the static
+ *    shared-memory conflict predictor against the simulator's own
+ *    per-instruction accounting — any divergence is a simulator bug;
+ *  - chip-ownership: runs a small bound-weave chip co-simulation with
+ *    the ownership auditor armed (common/ownership.hh) and reports any
+ *    cross-SM access during the bound phase.
+ *
+ * Passes are registered in a static table (allPasses()); unimem_lint
+ * exposes them via --passes/--all-passes and emits each pass's summary
+ * statistics in the JSON report.
+ */
+
+#ifndef UNIMEM_ANALYSIS_PASS_HH
+#define UNIMEM_ANALYSIS_PASS_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hh"
+#include "core/allocation.hh"
+
+namespace unimem {
+
+/**
+ * Shared per-kernel state the passes draw on. Derived products (the
+ * warp sample set, per-design allocation decisions) are computed on
+ * first use and cached so passes never repeat each other's work.
+ */
+class AnalysisContext
+{
+  public:
+    AnalysisContext(const KernelModel& kernel, const LintOptions& opt)
+        : kernel_(kernel), opt_(opt)
+    {
+    }
+
+    const KernelModel& kernel() const { return kernel_; }
+    const KernelParams& kp() const { return kernel_.params(); }
+    const LintOptions& options() const { return opt_; }
+
+    /** The lintWarpSamples() set (cached). */
+    const std::vector<WarpCtx>& warpSamples();
+
+    /**
+     * The allocation a default RunSpec of @p design implies for this
+     * kernel (baseline partition / 384 KB unified pool), cached per
+     * design. FermiLike resolves against the baseline capacities.
+     */
+    const AllocationDecision& allocation(DesignKind design);
+
+  private:
+    const KernelModel& kernel_;
+    LintOptions opt_;
+    std::optional<std::vector<WarpCtx>> samples_;
+    std::array<std::optional<AllocationDecision>, 3> allocs_;
+};
+
+/** One verifier pass over a kernel model. */
+class AnalysisPass
+{
+  public:
+    virtual ~AnalysisPass() = default;
+
+    /** Stable kebab-case name (CLI selection, JSON report key). */
+    virtual const char* name() const = 0;
+
+    virtual const char* description() const = 0;
+
+    /**
+     * Run over @p ctx, reporting findings into @p diags and summary
+     * numbers into @p out (out.pass is pre-filled by the driver).
+     */
+    virtual void run(AnalysisContext& ctx, DiagnosticEngine& diags,
+                     PassResult& out) = 0;
+};
+
+/** Registry entry of one pass. */
+struct PassInfo
+{
+    const char* name;
+    const char* description;
+
+    /** Member of the default lintKernel() set? */
+    bool inDefaultSet;
+
+    std::unique_ptr<AnalysisPass> (*create)();
+};
+
+/** Every registered pass, in canonical execution order. */
+const std::vector<PassInfo>& allPasses();
+
+/** Look up a pass by name; nullptr if unknown. */
+const PassInfo* findPass(const std::string& name);
+
+/** Names of the default pass set, in order. */
+std::vector<std::string> defaultPassNames();
+
+/**
+ * Assert registry integrity (non-empty unique kebab-case names, working
+ * factories) and the diagnostic registry it reports through. Panics on
+ * violation; called from unimem_lint and tests.
+ */
+void verifyPassRegistry();
+
+/** Pass factories (one per pass_*.cc translation unit). */
+std::unique_ptr<AnalysisPass> makeWarpInvariantsPass();
+std::unique_ptr<AnalysisPass> makeBarrierSyncPass();
+std::unique_ptr<AnalysisPass> makeRegisterHazardPass();
+std::unique_ptr<AnalysisPass> makeBankConflictXcheckPass();
+std::unique_ptr<AnalysisPass> makeChipOwnershipPass();
+
+} // namespace unimem
+
+#endif // UNIMEM_ANALYSIS_PASS_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Bank-conflict differential cross-check (analysis/pass.hh).
+ *
+ * The shared-memory conflict degree of one warp instruction is a pure
+ * function of its lane addresses and the design's bank mapping, so two
+ * independent implementations must agree on every instruction:
+ *
+ *  - the *dynamic* side: an SmModel run whose issue loop records the
+ *    ConflictModel's dataMaxPerBank/distinctWords/distinctChunks for
+ *    every issued shared op (footprint-cache replays included), via
+ *    SmModel::setSharedConflictTrace();
+ *  - the *static* side: this pass re-streams each recorded warp's
+ *    trace and recomputes the same quantities from first principles
+ *    (partitioned: distinct 4-byte words, bank = word % 32; unified:
+ *    distinct 16-byte chunks, cluster = chunk % 8, bank = chunk/8 % 4).
+ *
+ * Within one warp the simulator's records are in program order, so the
+ * comparison is element-wise. Any divergence — a wrong degree, a wrong
+ * distinct-granule count, or a missing/extra record — is a simulator
+ * bug (bank mapping, footprint-cache replay, or issue accounting) and
+ * is reported as bank-conflict-mismatch. Both designs are checked.
+ */
+
+#include <algorithm>
+
+#include "analysis/pass.hh"
+#include "common/log.hh"
+#include "sm/sm.hh"
+
+namespace unimem {
+
+namespace {
+
+/** Static recomputation of one shared op's conflict accounting. */
+struct Prediction
+{
+    u32 dataMaxPerBank = 0;
+    u32 distinctWords = 0;
+    u32 distinctChunks = 0;
+};
+
+/** Distinct @p granule -sized units the active lanes touch. */
+std::vector<Addr>
+granules(const WarpInstr& in, u32 granule)
+{
+    std::vector<Addr> out;
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        if (in.laneActive(lane))
+            for (u32 b = 0; b < in.accessBytes; b += 4) {
+                Addr g = (in.addr[lane] + b) / granule;
+                if (std::find(out.begin(), out.end(), g) == out.end())
+                    out.push_back(g);
+            }
+    return out;
+}
+
+Prediction
+predictShared(const WarpInstr& in, DesignKind design)
+{
+    Prediction p;
+    std::vector<Addr> words = granules(in, kPartitionedBankWidth);
+    std::vector<Addr> chunks = granules(in, kUnifiedBankWidth);
+    p.distinctWords = static_cast<u32>(words.size());
+    p.distinctChunks = static_cast<u32>(chunks.size());
+
+    if (design == DesignKind::Unified) {
+        std::array<std::array<u32, kBanksPerCluster>, kNumClusters>
+            counts{};
+        for (Addr k : chunks) {
+            u32 cluster = static_cast<u32>(k % kNumClusters);
+            u32 bank =
+                static_cast<u32>((k / kNumClusters) % kBanksPerCluster);
+            p.dataMaxPerBank =
+                std::max(p.dataMaxPerBank, ++counts[cluster][bank]);
+        }
+    } else {
+        std::array<u32, kBanksPerSm> counts{};
+        for (Addr w : words)
+            p.dataMaxPerBank = std::max(
+                p.dataMaxPerBank,
+                ++counts[static_cast<u32>(w % kBanksPerSm)]);
+    }
+    return p;
+}
+
+class BankConflictXcheckPass : public AnalysisPass
+{
+  public:
+    const char* name() const override { return "bank-conflict-xcheck"; }
+
+    const char*
+    description() const override
+    {
+        return "differential cross-check of the static shared-memory "
+               "conflict predictor against simulator accounting";
+    }
+
+    void
+    run(AnalysisContext& ctx, DiagnosticEngine& diags,
+        PassResult& out) override
+    {
+        u64 checked = 0;
+        u64 mismatches = 0;
+        checkDesign(ctx, DesignKind::Partitioned, diags, checked,
+                    mismatches);
+        checkDesign(ctx, DesignKind::Unified, diags, checked,
+                    mismatches);
+        out.stat("ops_checked", static_cast<double>(checked));
+        out.stat("mismatches", static_cast<double>(mismatches));
+    }
+
+  private:
+    void
+    checkDesign(AnalysisContext& ctx, DesignKind design,
+                DiagnosticEngine& diags, u64& checked, u64& mismatches)
+    {
+        const AllocationDecision& alloc = ctx.allocation(design);
+        if (!alloc.launch.feasible)
+            return; // register-hazard pass reports this
+
+        SmRunConfig cfg;
+        cfg.design = design;
+        cfg.partition = alloc.partition;
+        cfg.launch = alloc.launch;
+        cfg.seed =
+            ctx.options().seeds.empty() ? 1 : ctx.options().seeds[0];
+
+        std::vector<SmModel::SharedConflictRecord> records;
+        SmModel sm(cfg, ctx.kernel());
+        sm.setSharedConflictTrace(&records);
+        sm.run();
+
+        // Group records per warp, preserving program order (stable
+        // sort): record i of warp g must match the warp's i-th shared
+        // op in its regenerated trace.
+        std::vector<u32> order(records.size());
+        for (u32 i = 0; i < records.size(); ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](u32 a, u32 b) {
+                             return records[a].warpGlobalId <
+                                    records[b].warpGlobalId;
+                         });
+
+        for (size_t lo = 0; lo < order.size();) {
+            u64 gid = records[order[lo]].warpGlobalId;
+            size_t hi = lo;
+            while (hi < order.size() &&
+                   records[order[hi]].warpGlobalId == gid)
+                ++hi;
+            checkWarp(ctx, design, cfg.seed, gid,
+                      {order.begin() + lo, order.begin() + hi}, records,
+                      diags, checked, mismatches);
+            lo = hi;
+        }
+    }
+
+    void
+    checkWarp(AnalysisContext& ctx, DesignKind design, u64 seed,
+              u64 gid, const std::vector<u32>& recIdx,
+              const std::vector<SmModel::SharedConflictRecord>& records,
+              DiagnosticEngine& diags, u64& checked, u64& mismatches)
+    {
+        const KernelParams& kp = ctx.kp();
+        WarpCtx wc;
+        wc.ctaId = static_cast<u32>(gid / kp.warpsPerCta());
+        wc.warpInCta = static_cast<u32>(gid % kp.warpsPerCta());
+        wc.warpsPerCta = kp.warpsPerCta();
+        wc.threadsPerCta = kp.ctaThreads;
+        wc.seed = seed;
+
+        DiagLoc loc;
+        loc.kernel = kp.name;
+        loc.ctaId = wc.ctaId;
+        loc.warpInCta = wc.warpInCta;
+
+        size_t next = 0;
+        u64 sharedIndex = 0;
+        InstrStream stream(ctx.kernel().warpProgram(wc));
+        const WarpInstr* in;
+        while ((in = stream.peek()) != nullptr) {
+            if (isSharedSpace(in->op)) {
+                if (next >= recIdx.size()) {
+                    ++mismatches;
+                    loc.instrIndex = sharedIndex;
+                    diags.report(
+                        DiagId::BankConflictMismatch, loc,
+                        strprintf("%s: simulator recorded only %zu "
+                                  "shared ops for this warp but the "
+                                  "trace has more",
+                                  designName(design), recIdx.size()));
+                    return;
+                }
+                const SmModel::SharedConflictRecord& rec =
+                    records[recIdx[next]];
+                Prediction p = predictShared(*in, design);
+                ++checked;
+                if (p.dataMaxPerBank != rec.dataMaxPerBank ||
+                    p.distinctWords != rec.distinctWords ||
+                    p.distinctChunks != rec.distinctChunks) {
+                    ++mismatches;
+                    loc.instrIndex = sharedIndex;
+                    diags.report(
+                        DiagId::BankConflictMismatch, loc,
+                        strprintf(
+                            "%s shared op %llu: predicted "
+                            "degree/words/chunks %u/%u/%u but the "
+                            "simulator charged %u/%u/%u",
+                            designName(design),
+                            static_cast<unsigned long long>(
+                                sharedIndex),
+                            p.dataMaxPerBank, p.distinctWords,
+                            p.distinctChunks, rec.dataMaxPerBank,
+                            rec.distinctWords, rec.distinctChunks));
+                }
+                ++next;
+                ++sharedIndex;
+            }
+            stream.pop();
+        }
+        if (next != recIdx.size()) {
+            ++mismatches;
+            loc.instrIndex = DiagLoc::kNoInstr;
+            diags.report(
+                DiagId::BankConflictMismatch, loc,
+                strprintf("%s: simulator recorded %zu shared ops for "
+                          "this warp but the trace has only %zu",
+                          designName(design), recIdx.size(), next));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<AnalysisPass>
+makeBankConflictXcheckPass()
+{
+    return std::make_unique<BankConflictXcheckPass>();
+}
+
+} // namespace unimem

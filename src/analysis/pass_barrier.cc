@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Barrier-divergence/deadlock detector (analysis/pass.hh).
+ *
+ * The SM releases a barrier when every resident warp of the CTA has
+ * arrived (sm.cc execBarrier/releaseBarrier), so a CTA whose warps
+ * execute unequal Bar counts deadlocks: the warps that run out of
+ * barriers retire while the rest wait forever — or, worse, a later
+ * barrier pairs warps across *different* program barriers. Warp traces
+ * are straight-line (divergence is folded into active masks), so equal
+ * per-warp Bar counts prove every warp reaches each barrier the same
+ * number of times; unequal counts are a guaranteed hang.
+ *
+ * Unlike the warp-invariants prefix sampler this pass scans warps'
+ * whole traces — a count mismatch can hide arbitrarily deep — under a
+ * kernel-wide instruction budget. CTAs are sampled ({first, middle,
+ * last} when the grid is large) but every warp of a chosen CTA is
+ * counted, since the invariant is a property of the whole CTA.
+ */
+
+#include <algorithm>
+
+#include "analysis/pass.hh"
+#include "common/log.hh"
+
+namespace unimem {
+
+namespace {
+
+class BarrierSyncPass : public AnalysisPass
+{
+  public:
+    const char* name() const override { return "barrier-sync"; }
+
+    const char*
+    description() const override
+    {
+        return "whole-trace proof that every warp of a CTA reaches "
+               "each barrier the same number of times";
+    }
+
+    void
+    run(AnalysisContext& ctx, DiagnosticEngine& diags,
+        PassResult& out) override
+    {
+        const KernelParams& kp = ctx.kp();
+        const LintOptions& opt = ctx.options();
+
+        std::vector<u32> ctas;
+        if (kp.gridCtas <= 8) {
+            for (u32 c = 0; c < kp.gridCtas; ++c)
+                ctas.push_back(c);
+        } else {
+            ctas = {0, kp.gridCtas / 2, kp.gridCtas - 1};
+        }
+
+        u64 budget = opt.barrierScanBudget;
+        u64 instrs = 0;
+        u64 warps = 0;
+        u32 divergent = 0;
+        bool truncated = false;
+
+        std::vector<u64> barCounts(kp.warpsPerCta());
+        for (u64 seed : opt.seeds) {
+            for (u32 cta : ctas) {
+                bool complete = true;
+                for (u32 w = 0; w < kp.warpsPerCta(); ++w) {
+                    WarpCtx wc;
+                    wc.ctaId = cta;
+                    wc.warpInCta = w;
+                    wc.warpsPerCta = kp.warpsPerCta();
+                    wc.threadsPerCta = kp.ctaThreads;
+                    wc.seed = seed;
+
+                    u64 bars = 0;
+                    InstrStream stream(ctx.kernel().warpProgram(wc));
+                    const WarpInstr* in;
+                    while ((in = stream.peek()) != nullptr) {
+                        if (instrs >= budget) {
+                            complete = false;
+                            truncated = true;
+                            break;
+                        }
+                        if (in->op == Opcode::Bar)
+                            ++bars;
+                        ++instrs;
+                        stream.pop();
+                    }
+                    barCounts[w] = bars;
+                    ++warps;
+                    if (!complete)
+                        break;
+                }
+                if (!complete)
+                    continue; // partial counts prove nothing
+
+                auto [lo, hi] = std::minmax_element(barCounts.begin(),
+                                                    barCounts.end());
+                if (*lo != *hi) {
+                    ++divergent;
+                    DiagLoc loc;
+                    loc.kernel = kp.name;
+                    loc.ctaId = cta;
+                    loc.warpInCta = static_cast<u32>(
+                        std::distance(barCounts.begin(), lo));
+                    diags.report(
+                        DiagId::BarrierDivergence, loc,
+                        strprintf(
+                            "CTA %u warps reach between %llu and %llu "
+                            "barriers (seed %llu); the CTA deadlocks "
+                            "at barrier %llu",
+                            cta, static_cast<unsigned long long>(*lo),
+                            static_cast<unsigned long long>(*hi),
+                            static_cast<unsigned long long>(seed),
+                            static_cast<unsigned long long>(*lo)));
+                }
+            }
+        }
+
+        if (truncated) {
+            DiagLoc loc;
+            loc.kernel = kp.name;
+            diags.report(
+                DiagId::TraceBoundExceeded, loc,
+                strprintf("barrier scan hit its %llu-instruction "
+                          "budget; CTAs past the cutoff are unproven",
+                          static_cast<unsigned long long>(budget)));
+        }
+
+        out.stat("ctas_scanned",
+                 static_cast<double>(ctas.size() * opt.seeds.size()));
+        out.stat("warps_scanned", static_cast<double>(warps));
+        out.stat("instrs_scanned", static_cast<double>(instrs));
+        out.stat("divergent_ctas", static_cast<double>(divergent));
+        out.stat("truncated", truncated ? 1.0 : 0.0);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<AnalysisPass>
+makeBarrierSyncPass()
+{
+    return std::make_unique<BarrierSyncPass>();
+}
+
+} // namespace unimem

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Bound-phase ownership auditor pass (analysis/pass.hh).
+ *
+ * The bound-weave chip engine's determinism proof (DESIGN.md Section
+ * 10) rests on an ownership discipline: during the bound phase each SM
+ * worker may touch only its own SM and its private request queue, and
+ * every shared structure (the chip DramModels, the deferred-group
+ * arrays, the scoreboard delivery entry points) is touched only by the
+ * single-threaded weaver. common/ownership.hh tags those structures
+ * with owners and checks the calling thread's actor on every access.
+ *
+ * This pass arms the auditor, runs a small multi-worker chip
+ * co-simulation of the kernel, and reports every recorded violation as
+ * an ownership-violation error. A clean run is a dynamic proof that
+ * the bound phase performed no cross-SM access on any audited site for
+ * this kernel's schedule; any violation is a determinism race the
+ * TSan gate might miss (TSan needs the racing interleaving to occur,
+ * the auditor only needs the access to happen at all).
+ */
+
+#include <algorithm>
+#include <mutex>
+
+#include "analysis/pass.hh"
+#include "common/log.hh"
+#include "common/ownership.hh"
+#include "sm/chip.hh"
+
+namespace unimem {
+
+namespace {
+
+/** Violation sink shared with worker threads (handler is global). */
+std::mutex gSinkMu;
+std::vector<ownership::Violation>* gSink = nullptr;
+
+void
+collectViolation(const ownership::Violation& v)
+{
+    std::lock_guard<std::mutex> lock(gSinkMu);
+    if (gSink != nullptr)
+        gSink->push_back(v);
+}
+
+class ChipOwnershipPass : public AnalysisPass
+{
+  public:
+    const char* name() const override { return "chip-ownership"; }
+
+    const char*
+    description() const override
+    {
+        return "bound-weave chip run with the ownership auditor armed "
+               "(no cross-SM access during the bound phase)";
+    }
+
+    void
+    run(AnalysisContext& ctx, DiagnosticEngine& diags,
+        PassResult& out) override
+    {
+        const KernelParams& kp = ctx.kp();
+        const AllocationDecision& alloc =
+            ctx.allocation(DesignKind::Partitioned);
+        if (!alloc.launch.feasible)
+            return; // register-hazard pass reports this
+
+        ChipConfig cfg;
+        cfg.numSms = 4;
+        cfg.quantum = 64;
+        cfg.workers = 2;
+        cfg.sm.design = DesignKind::Partitioned;
+        cfg.sm.partition = alloc.partition;
+        cfg.sm.launch = alloc.launch;
+        cfg.sm.seed =
+            ctx.options().seeds.empty() ? 1 : ctx.options().seeds[0];
+
+        // The violation handler and auditing flag are process-global:
+        // serialize concurrent passes and restore both on exit.
+        static std::mutex passMu;
+        std::lock_guard<std::mutex> passLock(passMu);
+
+        std::vector<ownership::Violation> violations;
+        {
+            std::lock_guard<std::mutex> lock(gSinkMu);
+            gSink = &violations;
+        }
+        bool prevAudit = ownership::auditing();
+        ownership::setAuditing(true);
+        ownership::Handler prevHandler =
+            ownership::setViolationHandler(collectViolation);
+        u64 checksBefore = ownership::checksPerformed();
+
+        ChipStats stats;
+        {
+            ChipModel chip(cfg, ctx.kernel());
+            stats = chip.run();
+        }
+
+        ownership::setViolationHandler(prevHandler);
+        ownership::setAuditing(prevAudit);
+        u64 checks = ownership::checksPerformed() - checksBefore;
+        {
+            std::lock_guard<std::mutex> lock(gSinkMu);
+            gSink = nullptr;
+        }
+
+        // Workers race to record, so order the findings canonically
+        // before reporting.
+        std::sort(violations.begin(), violations.end(),
+                  [](const ownership::Violation& a,
+                     const ownership::Violation& b) {
+                      if (std::string(a.site) != b.site)
+                          return std::string(a.site) < b.site;
+                      if (a.actor != b.actor)
+                          return a.actor < b.actor;
+                      return a.owner < b.owner;
+                  });
+        for (const ownership::Violation& v : violations) {
+            DiagLoc loc;
+            loc.kernel = kp.name;
+            diags.report(DiagId::OwnershipViolation, loc,
+                         v.str() + " during a 4-SM/2-worker chip run");
+        }
+
+        out.stat("sms", static_cast<double>(cfg.numSms));
+        out.stat("workers", static_cast<double>(stats.workersUsed));
+        out.stat("windows", static_cast<double>(stats.windows));
+        out.stat("ownership_checks", static_cast<double>(checks));
+        out.stat("violations", static_cast<double>(violations.size()));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<AnalysisPass>
+makeChipOwnershipPass()
+{
+    return std::make_unique<ChipOwnershipPass>();
+}
+
+} // namespace unimem

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Register-hazard and allocation-legality pass (analysis/pass.hh).
+ *
+ * Two invariant families share this pass because both guard the
+ * register-file side of the Section 4.5 allocation contract:
+ *
+ *  1. Hazards across ORF capture windows (via TraceLiveness's hazard
+ *     sink): a long-latency load whose destination is redefined before
+ *     any read threw its DRAM transaction away (dead-load-overwrite —
+ *     the simulator still times the pointless load), and a zero-read
+ *     redefinition while the value still sits in the LRF+ORF recency
+ *     window is a WAW the capture hierarchy absorbs silently
+ *     (orf-window-waw). Both are advisories: wasted work, not broken
+ *     semantics, and routine in the synthetic benchmark generators.
+ *
+ *  2. Allocation legality for the default partitioned and unified
+ *     RunSpecs: the launch must be feasible, the consumed register/
+ *     scratchpad bytes must fit their partitions (over-subscription),
+ *     and the partition sizes must tile the pool exactly — a unified
+ *     split whose rf+shared+cache differs from the pool capacity means
+ *     partitions overlap or leak bytes.
+ */
+
+#include "analysis/liveness.hh"
+#include "analysis/pass.hh"
+#include "common/log.hh"
+
+namespace unimem {
+
+namespace {
+
+class RegisterHazardPass : public AnalysisPass
+{
+  public:
+    const char* name() const override { return "register-hazard"; }
+
+    const char*
+    description() const override
+    {
+        return "WAR/WAW hygiene across ORF capture windows and "
+               "unified-pool allocation legality";
+    }
+
+    void
+    run(AnalysisContext& ctx, DiagnosticEngine& diags,
+        PassResult& out) override
+    {
+        const KernelParams& kp = ctx.kp();
+        const LintOptions& opt = ctx.options();
+
+        u64 deadLoads = 0;
+        u64 windowWaws = 0;
+        for (const WarpCtx& wc : ctx.warpSamples()) {
+            DiagLoc loc;
+            loc.kernel = kp.name;
+            loc.ctaId = wc.ctaId;
+            loc.warpInCta = wc.warpInCta;
+
+            TraceLiveness liveness(kp.regsPerThread, kp.liveInRegCount(),
+                                   opt.orfEntries);
+            liveness.setHazardSink([&](const HazardEvent& ev) {
+                loc.instrIndex = ev.redefPos;
+                if (ev.kind == HazardEvent::Kind::DeadLoadOverwrite) {
+                    ++deadLoads;
+                    diags.report(
+                        DiagId::DeadLoadOverwrite, loc,
+                        strprintf("r%u loaded at i%llu is overwritten "
+                                  "with zero reads; the load's memory "
+                                  "traffic is wasted",
+                                  ev.reg,
+                                  static_cast<unsigned long long>(
+                                      ev.defPos)));
+                } else {
+                    ++windowWaws;
+                    diags.report(
+                        DiagId::OrfWindowWaw, loc,
+                        strprintf("r%u defined at i%llu is redefined "
+                                  "with zero reads inside the LRF+ORF "
+                                  "window",
+                                  ev.reg,
+                                  static_cast<unsigned long long>(
+                                      ev.defPos)));
+                }
+            });
+
+            InstrStream stream(ctx.kernel().warpProgram(wc));
+            for (u32 i = 0; i < opt.maxInstrsPerWarp; ++i) {
+                const WarpInstr* in = stream.peek();
+                if (in == nullptr)
+                    break;
+                liveness.step(*in);
+                stream.pop();
+            }
+            liveness.finish();
+        }
+
+        u32 allocFindings = 0;
+        allocFindings += checkAllocation(
+            ctx, DesignKind::Partitioned, baselinePartition().total(),
+            diags);
+        allocFindings +=
+            checkAllocation(ctx, DesignKind::Unified, 384_KB, diags);
+
+        out.stat("dead_load_overwrites", static_cast<double>(deadLoads));
+        out.stat("orf_window_waws", static_cast<double>(windowWaws));
+        out.stat("alloc_findings", static_cast<double>(allocFindings));
+    }
+
+  private:
+    /** @return number of findings reported for this design. */
+    u32
+    checkAllocation(AnalysisContext& ctx, DesignKind design,
+                    u64 poolBytes, DiagnosticEngine& diags)
+    {
+        const KernelParams& kp = ctx.kp();
+        const AllocationDecision& alloc = ctx.allocation(design);
+        const MemoryPartition& part = alloc.partition;
+        const LaunchConfig& launch = alloc.launch;
+
+        DiagLoc loc;
+        loc.kernel = kp.name;
+        u32 findings = 0;
+
+        if (!launch.feasible || launch.ctas == 0 ||
+            launch.threads == 0) {
+            ++findings;
+            diags.report(
+                DiagId::AllocInfeasibleLaunch, loc,
+                strprintf("%s allocation cannot launch the kernel "
+                          "(%u CTAs, %u threads)",
+                          designName(design), launch.ctas,
+                          launch.threads));
+            return findings; // consumption fields are meaningless
+        }
+        if (launch.rfBytes > part.rfBytes ||
+            launch.sharedBytes > part.sharedBytes) {
+            ++findings;
+            diags.report(
+                DiagId::AllocOverSubscribed, loc,
+                strprintf("%s launch consumes %llu RF + %llu shared "
+                          "bytes against partitions of %llu + %llu",
+                          designName(design),
+                          static_cast<unsigned long long>(launch.rfBytes),
+                          static_cast<unsigned long long>(
+                              launch.sharedBytes),
+                          static_cast<unsigned long long>(part.rfBytes),
+                          static_cast<unsigned long long>(
+                              part.sharedBytes)));
+        }
+        if (part.total() != poolBytes) {
+            ++findings;
+            diags.report(
+                DiagId::AllocPartitionOverlap, loc,
+                strprintf("%s partitions sum to %llu bytes, not the "
+                          "%llu-byte pool: partitions overlap or leak",
+                          designName(design),
+                          static_cast<unsigned long long>(part.total()),
+                          static_cast<unsigned long long>(poolBytes)));
+        }
+        return findings;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<AnalysisPass>
+makeRegisterHazardPass()
+{
+    return std::make_unique<RegisterHazardPass>();
+}
+
+} // namespace unimem

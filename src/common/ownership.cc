@@ -1,0 +1,115 @@
+#include "common/ownership.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace unimem {
+namespace ownership {
+
+namespace detail {
+
+std::atomic<bool> gAuditing{[] {
+    if (const char* env = std::getenv("UNIMEM_OWNERSHIP_AUDIT"))
+        return std::strcmp(env, "0") != 0;
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}()};
+
+namespace {
+
+thread_local Actor tlsActor = kNoActor;
+
+std::atomic<u64> gChecks{0};
+
+void
+defaultHandler(const Violation& v)
+{
+    panic("ownership violation: %s", v.str().c_str());
+}
+
+std::atomic<Handler> gHandler{&defaultHandler};
+
+} // namespace
+
+void
+checkSlow(Actor owner, const char* site)
+{
+    gChecks.fetch_add(1, std::memory_order_relaxed);
+    if (tlsActor == owner)
+        return;
+    Violation v;
+    v.actor = tlsActor;
+    v.owner = owner;
+    v.site = site;
+    gHandler.load(std::memory_order_acquire)(v);
+}
+
+} // namespace detail
+
+std::string
+actorName(Actor a)
+{
+    if (a == kNoActor)
+        return "none";
+    if (a == kWeaver)
+        return "weaver";
+    return "sm" + std::to_string(a);
+}
+
+bool
+auditing()
+{
+    return detail::gAuditing.load(std::memory_order_relaxed);
+}
+
+void
+setAuditing(bool on)
+{
+    detail::gAuditing.store(on, std::memory_order_relaxed);
+}
+
+std::string
+Violation::str() const
+{
+    return std::string(site) + ": actor " + actorName(actor) +
+           " touched state owned by " + actorName(owner);
+}
+
+Handler
+setViolationHandler(Handler h)
+{
+    Handler prev = detail::gHandler.exchange(
+        h != nullptr ? h : &detail::defaultHandler,
+        std::memory_order_acq_rel);
+    return prev == &detail::defaultHandler ? nullptr : prev;
+}
+
+Actor
+currentActor()
+{
+    return detail::tlsActor;
+}
+
+u64
+checksPerformed()
+{
+    return detail::gChecks.load(std::memory_order_relaxed);
+}
+
+ScopedActor::ScopedActor(Actor a) : prev_(detail::tlsActor)
+{
+    detail::tlsActor = a;
+}
+
+ScopedActor::~ScopedActor()
+{
+    detail::tlsActor = prev_;
+}
+
+} // namespace ownership
+} // namespace unimem

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bound-phase ownership auditing for the chip co-simulation engine.
+ *
+ * The bound-weave engine (DESIGN.md Section 10) is deterministic only
+ * because the bound phase is data-isolated: while worker threads advance
+ * SMs privately, each SM may touch exactly its own DramRequestQueue, and
+ * the shared DramModels plus every weave-side delivery entry point
+ * (SmModel::deliverLoad / noteDrain, group replay, clearReplayed) may be
+ * touched only by the single-threaded weave. TSan can catch a violation
+ * of that contract, but only when the racing accesses happen to overlap
+ * in time on the test machine. This module asserts the contract by
+ * construction instead: shared chip state is tagged with its owning
+ * *actor* (an SM id or the weaver), every instrumented access compares
+ * the tag against a thread-local current actor, and any cross-actor
+ * access is reported deterministically — on every run, at any worker
+ * count, even at workers=1 where no race physically exists.
+ *
+ * Cost model: a disabled check is one relaxed atomic load and a branch,
+ * so the instrumentation is compiled in unconditionally. Auditing
+ * defaults to ON in debug builds (!NDEBUG) and OFF in optimized builds;
+ * the UNIMEM_OWNERSHIP_AUDIT environment variable (0/1) overrides, and
+ * setAuditing() lets the chip-ownership analysis pass force it at
+ * runtime in any build.
+ *
+ * Violations invoke a process-wide handler: the default panics (hard
+ * deterministic failure under ctest), while the analysis pass installs
+ * a collector to turn violations into diagnostics.
+ */
+
+#ifndef UNIMEM_COMMON_OWNERSHIP_HH
+#define UNIMEM_COMMON_OWNERSHIP_HH
+
+#include <atomic>
+#include <string>
+
+#include "common/types.hh"
+
+namespace unimem {
+namespace ownership {
+
+/** Actor identity: an SM id, the weaver, or unattributed. */
+using Actor = u32;
+
+/** No actor established (main thread outside chip phases). */
+constexpr Actor kNoActor = ~Actor(0);
+
+/** The single-threaded weave/replay phase. */
+constexpr Actor kWeaver = ~Actor(0) - 1;
+
+/** Human-readable actor name ("sm3", "weaver", "none"). */
+std::string actorName(Actor a);
+
+/** Is auditing currently enabled? (relaxed read; the hot-path gate) */
+bool auditing();
+
+/** Force auditing on/off at runtime (analysis pass, tests). */
+void setAuditing(bool on);
+
+/** One detected cross-actor access. */
+struct Violation
+{
+    Actor actor = kNoActor; //!< who performed the access
+    Actor owner = kNoActor; //!< who the resource belongs to
+    const char* site = "";  //!< instrumentation point, e.g. "DramRequestQueue::recordRead"
+
+    std::string str() const;
+};
+
+/** Violation handler; the default implementation panics. */
+using Handler = void (*)(const Violation&);
+
+/**
+ * Install @p h (nullptr restores the default panic handler). Returns
+ * the previous handler. Not thread-safe against concurrent violations;
+ * install before starting the audited run.
+ */
+Handler setViolationHandler(Handler h);
+
+/** The actor bound to the calling thread (kNoActor by default). */
+Actor currentActor();
+
+/** Lifetime count of ownership checks evaluated while auditing. */
+u64 checksPerformed();
+
+/** RAII actor binding for the calling thread. */
+class ScopedActor
+{
+  public:
+    explicit ScopedActor(Actor a);
+    ~ScopedActor();
+
+    ScopedActor(const ScopedActor&) = delete;
+    ScopedActor& operator=(const ScopedActor&) = delete;
+
+  private:
+    Actor prev_;
+};
+
+namespace detail {
+extern std::atomic<bool> gAuditing;
+void checkSlow(Actor owner, const char* site);
+} // namespace detail
+
+/**
+ * Assert that the calling thread's actor matches @p owner. Resources
+ * with no owner tag (kNoActor — single-SM mode, unit tests) are exempt:
+ * ownership is a chip-mode contract and the tag is only planted by
+ * ChipModel.
+ */
+inline void
+check(Actor owner, const char* site)
+{
+    if (detail::gAuditing.load(std::memory_order_relaxed) &&
+        owner != kNoActor)
+        detail::checkSlow(owner, site);
+}
+
+} // namespace ownership
+} // namespace unimem
+
+#endif // UNIMEM_COMMON_OWNERSHIP_HH

@@ -9,7 +9,7 @@ namespace unimem {
 
 namespace {
 
-/** Collect distinct values (words or chunks) from a warp's lanes. */
+/** Collect distinct values (words, chunks, or lines) from a warp's lanes. */
 class DistinctSet
 {
   public:
@@ -29,9 +29,28 @@ class DistinctSet
     Addr operator[](u32 i) const { return vals_[i]; }
 
   private:
-    std::array<Addr, kWarpWidth> vals_; // only [0, size_) is live
+    /** 8-byte accesses touch up to two 4-byte words per lane. */
+    std::array<Addr, 2 * kWarpWidth> vals_; // only [0, size_) is live
     u32 size_ = 0;
 };
+
+/**
+ * Distinct granule indices an instruction's active lanes touch. Every
+ * lane contributes each @p granule -sized unit its accessBytes span
+ * covers — an 8-byte access occupies two 4-byte words (and, when
+ * misaligned across a boundary, two 16-byte chunks), exactly the units
+ * the banks must serve.
+ */
+DistinctSet
+distinctGranules(const WarpInstr& in, u32 granule)
+{
+    DistinctSet set;
+    for (u32 lane = 0; lane < kWarpWidth; ++lane)
+        if (in.laneActive(lane))
+            for (u32 b = 0; b < in.accessBytes; b += 4)
+                set.add((in.addr[lane] + b) / granule);
+    return set;
+}
 
 bool
 usesDataBanks(Opcode op)
@@ -65,18 +84,12 @@ ConflictModel::evalPartitioned(const WarpInstr& in, const u8* mrfBanks,
 
     u32 mem_max = 0;
     if (usesDataBanks(in.op)) {
-        DistinctSet words;
-        for (u32 lane = 0; lane < kWarpWidth; ++lane)
-            if (in.laneActive(lane))
-                words.add(in.addr[lane] / kPartitionedBankWidth);
+        DistinctSet words = distinctGranules(in, kPartitionedBankWidth);
         out.distinctWords = words.size();
         // Chunk count is reported for cross-design comparisons even
         // though the partitioned design moves data in 4-byte words.
-        DistinctSet chunks;
-        for (u32 lane = 0; lane < kWarpWidth; ++lane)
-            if (in.laneActive(lane))
-                chunks.add(in.addr[lane] / kUnifiedBankWidth);
-        out.distinctChunks = chunks.size();
+        out.distinctChunks =
+            distinctGranules(in, kUnifiedBankWidth).size();
 
         if (isSharedSpace(in.op)) {
             std::array<u32, kBanksPerSm> memCounts{};
@@ -88,6 +101,7 @@ ConflictModel::evalPartitioned(const WarpInstr& in, const u8* mrfBanks,
             // line; multi-line serialization is charged at the tag port.
             mem_max = words.size() > 0 ? 1 : 0;
         }
+        out.dataMaxPerBank = mem_max;
     }
 
     u32 reg_pen = reg_max > 1 ? reg_max - 1 : 0;
@@ -116,45 +130,49 @@ ConflictModel::evalUnified(const WarpInstr& in, const u8* mrfBanks,
     }
 
     if (usesDataBanks(in.op)) {
-        DistinctSet chunks;
-        for (u32 lane = 0; lane < kWarpWidth; ++lane)
-            if (in.laneActive(lane))
-                chunks.add(in.addr[lane] / kUnifiedBankWidth);
+        DistinctSet chunks = distinctGranules(in, kUnifiedBankWidth);
         out.distinctChunks = chunks.size();
-
-        DistinctSet words;
-        for (u32 lane = 0; lane < kWarpWidth; ++lane)
-            if (in.laneActive(lane))
-                words.add(in.addr[lane] / kPartitionedBankWidth);
-        out.distinctWords = words.size();
+        out.distinctWords =
+            distinctGranules(in, kPartitionedBankWidth).size();
 
         if (isSharedSpace(in.op)) {
             // Scatter/gather access: every distinct 16-byte chunk is a
             // separate bank access, and the simple design serializes
-            // chunks cluster-wide.
+            // chunks cluster-wide. Data contributions are counted on
+            // their own first so dataMaxPerBank excludes operand reads.
+            std::array<std::array<u32, kBanksPerCluster>, kNumClusters>
+                dataCounts{};
             for (u32 i = 0; i < chunks.size(); ++i) {
                 Addr k = chunks[i];
                 u32 cluster = static_cast<u32>(k % kNumClusters);
                 u32 bank = static_cast<u32>((k / kNumClusters) %
                                             kBanksPerCluster);
-                ++counts[cluster][bank];
+                ++dataCounts[cluster][bank];
                 ++chunksPerCluster[cluster];
+            }
+            for (u32 c = 0; c < kNumClusters; ++c) {
+                for (u32 b = 0; b < kBanksPerCluster; ++b) {
+                    out.dataMaxPerBank =
+                        std::max(out.dataMaxPerBank, dataCounts[c][b]);
+                    counts[c][b] += dataCounts[c][b];
+                }
             }
         } else {
             // Cache access: a 128-byte line is read/written as one
             // parallel access to bank (line % 4) in all 8 clusters;
             // multiple lines contend only at bank granularity (they
             // already serialize on the tag port).
-            DistinctSet lines;
-            for (u32 lane = 0; lane < kWarpWidth; ++lane)
-                if (in.laneActive(lane))
-                    lines.add(in.addr[lane] / kCacheLineBytes);
+            DistinctSet lines = distinctGranules(in, kCacheLineBytes);
+            std::array<u32, kBanksPerCluster> linesPerBank{};
             for (u32 i = 0; i < lines.size(); ++i) {
                 u32 bank =
                     static_cast<u32>(lines[i] % kBanksPerCluster);
+                ++linesPerBank[bank];
                 for (u32 c = 0; c < kNumClusters; ++c)
                     ++counts[c][bank];
             }
+            out.dataMaxPerBank = *std::max_element(linesPerBank.begin(),
+                                                   linesPerBank.end());
         }
     }
 

@@ -51,6 +51,16 @@ struct ConflictOutcome
     /** Maximum accesses to any single physical bank (Table 5 metric). */
     u32 maxPerBank = 0;
 
+    /**
+     * Maximum accesses to any single bank from the *data* (scratchpad/
+     * cache) footprint alone, excluding MRF operand reads. Unlike
+     * maxPerBank this is a pure function of the instruction's lane
+     * addresses, so a static trace replay can recompute it exactly —
+     * the bank-conflict differential cross-check pass compares this
+     * field against its own prediction instruction by instruction.
+     */
+    u32 dataMaxPerBank = 0;
+
     /** Distinct 4-byte words touched (partitioned data energy unit). */
     u32 distinctWords = 0;
 

@@ -32,6 +32,7 @@
 
 #include <vector>
 
+#include "common/ownership.hh"
 #include "common/types.hh"
 
 namespace unimem {
@@ -81,12 +82,21 @@ class DramRequestQueue
     }
 
     /**
+     * Tag this queue with its owning SM (chip mode). Record-side
+     * mutations then assert the bound phase's data-isolation contract:
+     * only the owner SM's thread may record, and only the weaver may
+     * clear replayed state (common/ownership.hh).
+     */
+    void setOwner(ownership::Actor sm) { owner_ = sm; }
+
+    /**
      * Open a completion group for one load/texture instruction. Member
      * fills are added with recordRead(); close with endGroup().
      */
     u32
     beginGroup(u32 warp, u32 gen, RegId reg, Cycle extra)
     {
+        ownership::check(owner_, "DramRequestQueue::beginGroup");
         DeferredGroup g;
         g.warp = warp;
         g.gen = gen;
@@ -107,6 +117,7 @@ class DramRequestQueue
     bool
     endGroup(u32 g, Cycle known, bool wake, bool trackCompletion)
     {
+        ownership::check(owner_, "DramRequestQueue::endGroup");
         DeferredGroup& grp = groups_[g];
         if (grp.members == 0) {
             groups_.pop_back(); // groups are opened/closed LIFO
@@ -130,6 +141,7 @@ class DramRequestQueue
     recordRead(u8 channel, Cycle at, u32 sectors, u32 group,
                bool trackDrain)
     {
+        ownership::check(owner_, "DramRequestQueue::recordRead");
         requests_.push_back(
             {at, sectors, group, channel, true, trackDrain});
         ++totalRequests_;
@@ -147,6 +159,7 @@ class DramRequestQueue
     void
     recordWrite(u8 channel, Cycle at, u32 sectors, bool trackDrain)
     {
+        ownership::check(owner_, "DramRequestQueue::recordWrite");
         requests_.push_back(
             {at, sectors, kNoGroup, channel, false, trackDrain});
         ++totalRequests_;
@@ -173,6 +186,9 @@ class DramRequestQueue
     void
     clearReplayed()
     {
+        if (owner_ != ownership::kNoActor)
+            ownership::check(ownership::kWeaver,
+                             "DramRequestQueue::clearReplayed");
         requests_.clear();
         groups_.clear();
         minBound_ = kCycleNever;
@@ -180,6 +196,7 @@ class DramRequestQueue
 
   private:
     u32 dramLatency_;
+    ownership::Actor owner_ = ownership::kNoActor;
     u64 placeholderSeq_ = 0;
     Cycle lastPlaceholder_ = 0;
     Cycle minBound_ = kCycleNever;

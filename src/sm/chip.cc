@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "common/ownership.hh"
 #include "common/worker_pool.hh"
 
 namespace unimem {
@@ -79,13 +80,20 @@ ChipModel::ChipModel(const ChipConfig& cfg, const KernelModel& kernel)
         fatal("ChipModel: zero SMs");
     if (cfg_.quantum == 0)
         fatal("ChipModel: zero quantum");
+    // Ownership contract (common/ownership.hh): queue i records only
+    // under SM i's bound-phase actor; the shared controllers and every
+    // delivery entry point belong to the weaver.
+    dram_.setOwner(ownership::kWeaver);
+    texDram_.setOwner(ownership::kWeaver);
     for (u32 i = 0; i < cfg_.numSms; ++i) {
         queues_.push_back(
             std::make_unique<DramRequestQueue>(cfg_.sm.lat.dram));
+        queues_.back()->setOwner(i);
         SmRunConfig sm_cfg = cfg_.sm;
         sm_cfg.seed = cfg_.sm.seed + i; // per-SM-distinct traces
         sms_.push_back(std::make_unique<SmModel>(sm_cfg, kernel,
                                                  queues_.back().get()));
+        sms_.back()->setDeliveryOwner(ownership::kWeaver);
     }
 }
 
@@ -94,6 +102,7 @@ ChipModel::~ChipModel() = default;
 void
 ChipModel::weave()
 {
+    ownership::ScopedActor actor(ownership::kWeaver);
     // Canonical replay order: by issue cycle, ties by smId, ties within
     // one SM in record order (the merge array is built in smId order
     // and the sort is stable). Per-SM record order is nondecreasing in
@@ -196,8 +205,10 @@ ChipModel::run()
                 panic("ChipModel: window guard tripped");
 
             pool.parallelFor(
-                static_cast<u32>(runnable.size()),
-                [&](u32 j) { sms_[runnable[j]]->advance(window_end); });
+                static_cast<u32>(runnable.size()), [&](u32 j) {
+                    ownership::ScopedActor actor(runnable[j]);
+                    sms_[runnable[j]]->advance(window_end);
+                });
             ++stats_.boundPasses;
 
             for (u32 i : runnable) {

@@ -469,6 +469,7 @@ void
 SmModel::deliverLoad(u32 warp, u32 gen, RegId reg, Cycle completion,
                      Cycle placeholder, bool trackCompletion)
 {
+    ownership::check(deliveryOwner_, "SmModel::deliverLoad");
     if (trackCompletion)
         lastCompletion_ = std::max(lastCompletion_, completion);
     // Push the wakeup even when the warp instance is gone: the
@@ -550,6 +551,9 @@ SmModel::issue(u32 w)
         }
     }
     stats_.conflictHist.record(co.maxPerBank);
+    if (sharedTrace_ != nullptr && isSharedSpace(in.op))
+        sharedTrace_->push_back({ws.warpGlobalId, co.dataMaxPerBank,
+                                 co.distinctWords, co.distinctChunks});
     u32 reg_pen = cfg_.conflictPenalties ? co.regPenalty : 0;
     u32 mem_pen =
         cfg_.conflictPenalties ? co.penalty - co.regPenalty : 0;

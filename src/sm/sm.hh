@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "arch/kernel_model.hh"
+#include "common/ownership.hh"
 #include "core/conflict_model.hh"
 #include "mem/coalescer.hh"
 #include "mem/dram_queue.hh"
@@ -94,8 +95,19 @@ class SmModel
     void
     noteDrain(Cycle c)
     {
+        ownership::check(deliveryOwner_, "SmModel::noteDrain");
         if (c > lastCompletion_)
             lastCompletion_ = c;
+    }
+
+    /**
+     * Chip mode: restrict deliverLoad()/noteDrain() to @p owner (the
+     * weaver). A bound-phase worker calling a delivery entry point is
+     * exactly the cross-SM mutation the bound-weave contract forbids.
+     */
+    void setDeliveryOwner(ownership::Actor owner)
+    {
+        deliveryOwner_ = owner;
     }
 
     /**
@@ -127,6 +139,27 @@ class SmModel
     void setIssueTrace(std::vector<IssueRecord>* sink)
     {
         issueTrace_ = sink;
+    }
+
+    /**
+     * One issued shared-memory instruction's conflict accounting, as
+     * charged by the simulator (footprint-cache replays included).
+     * Within one warp the records appear in program order, so a static
+     * replay of that warp's trace can be compared element-wise — the
+     * bank-conflict differential cross-check pass does exactly that.
+     */
+    struct SharedConflictRecord
+    {
+        u64 warpGlobalId;
+        u32 dataMaxPerBank;
+        u32 distinctWords;
+        u32 distinctChunks;
+    };
+
+    /** Record every issued shared op into @p sink (nullptr disables). */
+    void setSharedConflictTrace(std::vector<SharedConflictRecord>* sink)
+    {
+        sharedTrace_ = sink;
     }
 
     /**
@@ -329,6 +362,9 @@ class SmModel
     std::vector<CoalescedAccess> coalesceScratch_;
 
     std::vector<IssueRecord>* issueTrace_ = nullptr;
+    std::vector<SharedConflictRecord>* sharedTrace_ = nullptr;
+
+    ownership::Actor deliveryOwner_ = ownership::kNoActor;
 
     SmStats stats_;
 };

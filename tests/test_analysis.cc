@@ -9,10 +9,15 @@
  * worker counts.
  */
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "analysis/lint.hh"
 #include "analysis/liveness.hh"
+#include "analysis/pass.hh"
 #include "kernels/registry.hh"
 #include "kernels/step_program.hh"
 #include "kernels/workloads.hh"
@@ -536,6 +541,359 @@ TEST(Liveness, RedefinitionEndsTheOldInterval)
     lv.step(instr::alu(0));     // kills the first r0 value
     lv.step(instr::alu(2, 0));
     EXPECT_EQ(lv.finish().maxLive, 1u);
+}
+
+// ---- hazard sink --------------------------------------------------------
+
+TEST(Liveness, DeadLoadOverwriteReachesTheSink)
+{
+    TraceLiveness lv(8, 0);
+    std::vector<HazardEvent> events;
+    lv.setHazardSink([&](const HazardEvent& e) { events.push_back(e); });
+
+    WarpInstr ld = instr::mem(Opcode::LdGlobal, /*dst=*/3, /*addr=*/0);
+    lv.step(instr::alu(0));
+    lv.step(ld);                // r3 <- load at pos 1
+    lv.step(instr::alu(3, 0));  // overwritten, never read
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, HazardEvent::Kind::DeadLoadOverwrite);
+    EXPECT_EQ(events[0].reg, 3u);
+    EXPECT_EQ(events[0].defPos, 1u);
+    EXPECT_EQ(events[0].redefPos, 2u);
+}
+
+TEST(Liveness, WindowWawReachesTheSink)
+{
+    TraceLiveness lv(8, 0);
+    std::vector<HazardEvent> events;
+    lv.setHazardSink([&](const HazardEvent& e) { events.push_back(e); });
+
+    lv.step(instr::alu(3));    // def r3
+    lv.step(instr::alu(3));    // redef inside the window, zero reads
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, HazardEvent::Kind::WindowWaw);
+    EXPECT_EQ(events[0].reg, 3u);
+}
+
+TEST(Liveness, ReadBetweenDefsIsNoHazard)
+{
+    TraceLiveness lv(8, 0);
+    std::vector<HazardEvent> events;
+    lv.setHazardSink([&](const HazardEvent& e) { events.push_back(e); });
+
+    lv.step(instr::alu(3));
+    lv.step(instr::alu(4, 3)); // read r3
+    lv.step(instr::alu(3));    // legal redefinition
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(Liveness, UnusedLiveInOverwriteIsNoHazard)
+{
+    TraceLiveness lv(8, /*liveIn=*/2);
+    std::vector<HazardEvent> events;
+    lv.setHazardSink([&](const HazardEvent& e) { events.push_back(e); });
+
+    lv.step(instr::alu(0)); // kernels routinely ignore some inputs
+    lv.step(instr::alu(1));
+    EXPECT_TRUE(events.empty());
+}
+
+// ---- pass framework -----------------------------------------------------
+
+TEST(PassFramework, RegistryIsWellFormed)
+{
+    verifyPassRegistry(); // panics on any violation
+    EXPECT_EQ(allPasses().size(), 5u);
+    EXPECT_NE(findPass("warp-invariants"), nullptr);
+    EXPECT_NE(findPass("bank-conflict-xcheck"), nullptr);
+    EXPECT_EQ(findPass("no-such-pass"), nullptr);
+    EXPECT_EQ(defaultPassNames(),
+              (std::vector<std::string>{"warp-invariants",
+                                        "barrier-sync",
+                                        "register-hazard"}));
+}
+
+TEST(PassFramework, ReportCarriesPerPassResults)
+{
+    LintReport r = lintOne(baseParams(), cleanProgram());
+    ASSERT_EQ(r.passes.size(), 3u);
+    EXPECT_EQ(r.passes[0].pass, "warp-invariants");
+    EXPECT_EQ(r.passes[1].pass, "barrier-sync");
+    EXPECT_EQ(r.passes[2].pass, "register-hazard");
+    EXPECT_FALSE(r.passes[0].stats.empty());
+    // The report's headline metrics mirror the warp-invariants pass.
+    EXPECT_EQ(r.metrics.instrs, r.passes[0].metrics.instrs);
+}
+
+TEST(PassFramework, ExplicitPassListRunsExactlyThose)
+{
+    TestKernel k(baseParams(), cleanProgram());
+    LintReport r = lintKernel(k, {}, {"barrier-sync"});
+    ASSERT_EQ(r.passes.size(), 1u);
+    EXPECT_EQ(r.passes[0].pass, "barrier-sync");
+    // warp-invariants did not run, so its metrics stay empty.
+    EXPECT_EQ(r.metrics.instrs, 0u);
+}
+
+// ---- barrier-sync pass --------------------------------------------------
+
+/** Kernel whose warp 0 executes one extra barrier (a guaranteed hang). */
+class DivergentBarrierKernel : public KernelModel
+{
+  public:
+    explicit DivergentBarrierKernel(bool divergent)
+        : divergent_(divergent)
+    {
+        kp_.name = "barrier-test";
+        kp_.regsPerThread = 8;
+        kp_.ctaThreads = 2 * kWarpWidth; // two warps per CTA
+        kp_.gridCtas = 2;
+        kp_.liveInRegs = 2;
+    }
+
+    const KernelParams& params() const override { return kp_; }
+
+    std::unique_ptr<WarpProgram>
+    warpProgram(const WarpCtx& ctx) const override
+    {
+        std::vector<WarpInstr> prog;
+        prog.push_back(instr::alu(2, 0, 1));
+        prog.push_back(instr::bar());
+        if (divergent_ && ctx.warpInCta == 0)
+            prog.push_back(instr::bar());
+        return std::make_unique<FixedProgram>(prog);
+    }
+
+  private:
+    KernelParams kp_;
+    bool divergent_;
+};
+
+TEST(PassBarrier, UnequalBarCountsAreDivergence)
+{
+    DivergentBarrierKernel k(/*divergent=*/true);
+    LintReport r = lintKernel(k, {}, {"barrier-sync"});
+    EXPECT_FALSE(r.clean()) << r.str();
+    EXPECT_GE(r.diags.countOf(DiagId::BarrierDivergence), 1u)
+        << r.str();
+}
+
+TEST(PassBarrier, EqualBarCountsProveClean)
+{
+    DivergentBarrierKernel k(/*divergent=*/false);
+    LintReport r = lintKernel(k, {}, {"barrier-sync"});
+    EXPECT_TRUE(r.clean()) << r.str();
+    EXPECT_EQ(r.diags.countOf(DiagId::BarrierDivergence), 0u);
+}
+
+TEST(PassBarrier, BudgetExhaustionWarnsInsteadOfGuessing)
+{
+    DivergentBarrierKernel k(/*divergent=*/true);
+    LintOptions opt;
+    opt.barrierScanBudget = 2; // truncates inside the first CTA
+    LintReport r = lintKernel(k, opt, {"barrier-sync"});
+    EXPECT_GE(r.diags.countOf(DiagId::TraceBoundExceeded), 1u)
+        << r.str();
+    // Partial counts prove nothing, so no divergence may be claimed.
+    EXPECT_EQ(r.diags.countOf(DiagId::BarrierDivergence), 0u)
+        << r.str();
+}
+
+// ---- register-hazard pass -----------------------------------------------
+
+TEST(PassRegHazard, DeadLoadOverwriteFlagged)
+{
+    std::vector<WarpInstr> prog;
+    prog.push_back(memAt(Opcode::LdGlobal, 4096, /*dst=*/2, /*addr=*/0));
+    prog.push_back(instr::alu(2, 0, 1)); // overwrite, never read
+    prog.push_back(memAt(Opcode::StGlobal, 8192, /*data=*/2,
+                         /*addr=*/2));
+    TestKernel k(baseParams(), prog);
+    LintReport r = lintKernel(k, {}, {"register-hazard"});
+    EXPECT_TRUE(r.clean()) << r.str(); // advisory, not an error
+    EXPECT_EQ(r.diags.countOf(DiagId::DeadLoadOverwrite), 1u)
+        << r.str();
+}
+
+TEST(PassRegHazard, WindowWawFlagged)
+{
+    std::vector<WarpInstr> prog;
+    prog.push_back(instr::alu(3, 0));
+    prog.push_back(instr::alu(3, 1)); // zero-read redef in the window
+    prog.push_back(instr::alu(4, 3));
+    TestKernel k(baseParams(), prog);
+    LintReport r = lintKernel(k, {}, {"register-hazard"});
+    EXPECT_EQ(r.diags.countOf(DiagId::OrfWindowWaw), 1u) << r.str();
+}
+
+TEST(PassRegHazard, OversizedSharedIsInfeasiblePartitioned)
+{
+    KernelParams kp = baseParams();
+    kp.sharedBytesPerCta = 128 * 1024; // above the 64 KB scratchpad
+    TestKernel k(kp, cleanProgram());
+    LintReport r = lintKernel(k, {}, {"register-hazard"});
+    // Partitioned cannot launch; the 384 KB unified pool still can.
+    EXPECT_EQ(r.diags.countOf(DiagId::AllocInfeasibleLaunch), 1u)
+        << r.str();
+}
+
+TEST(PassRegHazard, ShippedKernelAllocationsAreLegal)
+{
+    auto k = createBenchmark("vectoradd", 0.05);
+    LintReport r = lintKernel(*k, {}, {"register-hazard"});
+    EXPECT_EQ(r.diags.countOf(DiagId::AllocInfeasibleLaunch), 0u);
+    EXPECT_EQ(r.diags.countOf(DiagId::AllocOverSubscribed), 0u);
+    EXPECT_EQ(r.diags.countOf(DiagId::AllocPartitionOverlap), 0u);
+}
+
+// ---- bank-conflict differential cross-check -----------------------------
+
+double
+passStat(const PassResult& pr, const std::string& name)
+{
+    for (const auto& [k, v] : pr.stats)
+        if (k == name)
+            return v;
+    ADD_FAILURE() << "missing pass stat " << name;
+    return -1.0;
+}
+
+TEST(PassXcheck, SimulatorMatchesStaticPredictorBitExactly)
+{
+    // dgemm mixes conflict-free and degree-2 shared accesses (8-byte
+    // loads); the cross-check must agree on every instruction in both
+    // designs.
+    auto k = createBenchmark("dgemm", 0.25);
+    LintReport r = lintKernel(*k, {}, {"bank-conflict-xcheck"});
+    ASSERT_EQ(r.passes.size(), 1u);
+    EXPECT_TRUE(r.clean()) << r.str();
+    EXPECT_EQ(r.diags.countOf(DiagId::BankConflictMismatch), 0u)
+        << r.str();
+    EXPECT_GT(passStat(r.passes[0], "ops_checked"), 0.0);
+    EXPECT_EQ(passStat(r.passes[0], "mismatches"), 0.0);
+}
+
+// ---- chip-ownership pass ------------------------------------------------
+
+TEST(PassOwnership, BoundPhaseIsOwnershipCleanOnShippedKernel)
+{
+    auto k = createBenchmark("vectoradd", 0.05);
+    LintReport r = lintKernel(*k, {}, {"chip-ownership"});
+    ASSERT_EQ(r.passes.size(), 1u);
+    EXPECT_TRUE(r.clean()) << r.str();
+    EXPECT_EQ(r.diags.countOf(DiagId::OwnershipViolation), 0u)
+        << r.str();
+    EXPECT_GT(passStat(r.passes[0], "ownership_checks"), 0.0);
+    EXPECT_EQ(passStat(r.passes[0], "violations"), 0.0);
+}
+
+// ---- diagnostic engine: filtering, caps, registry -----------------------
+
+TEST(Lint, EngineSeverityFilterDropsBelowMin)
+{
+    DiagnosticOptions opt;
+    opt.minSeverity = Severity::Warning;
+    DiagnosticEngine eng(opt);
+    DiagLoc loc;
+    loc.kernel = "k";
+    eng.report(DiagId::LowOrfCapture, loc, "advisory");   // info
+    eng.report(DiagId::MisalignedAddress, loc, "warning");
+    EXPECT_EQ(eng.diagnostics().size(), 1u);
+    EXPECT_EQ(eng.filteredCount(), 1u);
+    EXPECT_EQ(eng.countOf(DiagId::MisalignedAddress), 1u);
+    EXPECT_EQ(eng.suppressedCount(), 0u); // filtered, not suppressed
+}
+
+TEST(Lint, WerrorPromotionHappensBeforeTheFilter)
+{
+    DiagnosticOptions opt;
+    opt.minSeverity = Severity::Error;
+    opt.werror = true;
+    DiagnosticEngine eng(opt);
+    DiagLoc loc;
+    loc.kernel = "k";
+    eng.report(DiagId::MisalignedAddress, loc, "promoted"); // w -> e
+    eng.report(DiagId::LowOrfCapture, loc, "still info");
+    EXPECT_EQ(eng.count(Severity::Error), 1u);
+    EXPECT_EQ(eng.filteredCount(), 1u);
+}
+
+TEST(Lint, GlobalSiteCapSuppressesAcrossIds)
+{
+    DiagnosticOptions opt;
+    opt.maxTotalSites = 2;
+    DiagnosticEngine eng(opt);
+    DiagLoc loc;
+    loc.kernel = "k";
+    eng.report(DiagId::BadArity, loc, "a");
+    eng.report(DiagId::MissingDst, loc, "b");
+    eng.report(DiagId::UnexpectedDst, loc, "c"); // over the cap
+    eng.report(DiagId::BadArity, loc, "a");      // dup still counts
+    EXPECT_EQ(eng.diagnostics().size(), 2u);
+    EXPECT_EQ(eng.suppressedCount(), 1u);
+    EXPECT_EQ(eng.diagnostics()[0].occurrences, 2u);
+}
+
+TEST(Lint, DiagRegistryIsDenseUniqueAndStable)
+{
+    verifyDiagRegistry(); // panics on violation
+    EXPECT_EQ(kNumDiagIds, 24u);
+    EXPECT_STREQ(diagName(DiagId::BarrierDivergence),
+                 "barrier-divergence");
+    EXPECT_STREQ(diagName(DiagId::OwnershipViolation),
+                 "ownership-violation");
+}
+
+// ---- golden lint snapshot over every shipped kernel ---------------------
+
+std::string
+lintSnapshotPath()
+{
+    return std::string(UNIMEM_SOURCE_DIR) +
+           "/tests/golden/lint_snapshot.golden";
+}
+
+std::string
+computeLintSnapshot()
+{
+    std::ostringstream os;
+    for (const BenchmarkInfo& info : allBenchmarks()) {
+        auto k = createBenchmark(info.name, 0.5);
+        LintReport r = lintKernel(*k);
+        os << r.str();
+    }
+    return os.str();
+}
+
+TEST(LintSweep, SnapshotMatchesGoldenFile)
+{
+    std::string snapshot = computeLintSnapshot();
+
+    if (std::getenv("UNIMEM_UPDATE_GOLDEN")) {
+        std::ofstream os(lintSnapshotPath());
+        ASSERT_TRUE(os) << "cannot write " << lintSnapshotPath();
+        os << "# lint snapshot: default analysis passes over all "
+              "shipped kernels at scale 0.5\n"
+           << "# regenerate: UNIMEM_UPDATE_GOLDEN=1 ./test_analysis "
+              "--gtest_filter='LintSweep.SnapshotMatchesGoldenFile'\n"
+           << snapshot;
+        GTEST_SKIP() << "golden file regenerated at "
+                     << lintSnapshotPath();
+    }
+
+    std::ifstream is(lintSnapshotPath());
+    ASSERT_TRUE(is) << "missing golden file " << lintSnapshotPath()
+                    << " - regenerate with UNIMEM_UPDATE_GOLDEN=1";
+    std::ostringstream golden;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line[0] == '#')
+            continue;
+        golden << line << "\n";
+    }
+    EXPECT_EQ(snapshot, golden.str())
+        << "lint output drifted from the golden snapshot; if the "
+           "change is intended, regenerate with UNIMEM_UPDATE_GOLDEN=1";
 }
 
 } // namespace

@@ -21,11 +21,13 @@
 
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/ownership.hh"
 #include "kernels/registry.hh"
 #include "sim/simulator.hh"
 #include "sm/chip.hh"
@@ -133,6 +135,55 @@ TEST(ChipDeterminism, WorkerCountBitIdentical_1_2_4_8)
                 << w.name << " diverges with " << workers << " workers";
         }
     }
+}
+
+// ---- Ownership audit: bound-phase isolation by construction -----------
+
+std::mutex gViolationMu;
+std::vector<ownership::Violation> gViolations;
+
+void
+collectViolation(const ownership::Violation& v)
+{
+    std::lock_guard<std::mutex> lk(gViolationMu);
+    gViolations.push_back(v);
+}
+
+TEST(ChipDeterminism, OwnershipAuditCleanAcrossWorkerCounts)
+{
+    // Bit-identical fingerprints prove the weave *result* is invariant;
+    // the ownership auditor proves the *process* is data-isolated: no
+    // SM touches another SM's DRAM queue or a weave-only entry point
+    // during the bound phase, at any worker count.
+    bool prevAuditing = ownership::auditing();
+    ownership::Handler prev =
+        ownership::setViolationHandler(collectViolation);
+    ownership::setAuditing(true);
+    {
+        std::lock_guard<std::mutex> lk(gViolationMu);
+        gViolations.clear();
+    }
+    u64 checksBefore = ownership::checksPerformed();
+
+    auto k = createBenchmark("vectoradd", 0.05);
+    ChipConfig cfg;
+    cfg.numSms = 8;
+    cfg.sm = smConfigFor(*k);
+    cfg.chipDramBytesPerCycle = 8 * cfg.sm.dramBytesPerCycle;
+    for (u32 workers : {1u, 2u, 4u, 8u}) {
+        cfg.workers = workers;
+        runChip(cfg, "vectoradd", 0.05);
+    }
+
+    ownership::setAuditing(prevAuditing);
+    ownership::setViolationHandler(prev);
+
+    EXPECT_GT(ownership::checksPerformed(), checksBefore)
+        << "the audited run must actually exercise ownership checks";
+    std::lock_guard<std::mutex> lk(gViolationMu);
+    for (const ownership::Violation& v : gViolations)
+        ADD_FAILURE() << v.str();
+    EXPECT_TRUE(gViolations.empty());
 }
 
 TEST(ChipDeterminism, WorkerCountResolution)

@@ -2,30 +2,37 @@
  * @file
  * unimem-lint: static analyzer over the shipped kernel models.
  *
- * Runs lintKernel() (analysis/lint.hh) over every registry benchmark —
- * or a --kernel subset — in parallel on the sweep engine, prints a
- * per-kernel metrics table plus every diagnostic, and exits nonzero
- * when any kernel has lint errors. This is the gate scripts/check.sh
- * and CI run so a kernel-model edit that violates its declared
- * KernelParams fails the build instead of silently corrupting figures.
+ * Runs the analysis pass framework (analysis/pass.hh) over every
+ * registry benchmark — or a --kernel subset — in parallel on the sweep
+ * engine, prints a per-kernel metrics table plus every diagnostic, and
+ * exits nonzero when any kernel has findings. This is the gate
+ * scripts/check.sh and CI run so a kernel-model edit that violates its
+ * declared KernelParams fails the build instead of silently corrupting
+ * figures.
  *
  * Flags:
  *   --kernel=a,b,c   lint only these benchmarks (default: all 26)
  *   --scale=F        workload scale (default 0.5, same as unimem_cli)
  *   --jobs=N         sweep workers (default: UNIMEM_JOBS or all cores)
+ *   --passes=a,b     run these analysis passes (default: default set)
+ *   --all-passes     run every registered pass, including the
+ *                    simulation-backed cross-checks
+ *   --list-passes    print the pass registry and exit
  *   --Werror         treat warnings as errors
  *   --max-instrs=N   trace-prefix bound per sampled warp (default 4096)
+ *   --max-diags=N    global cap on stored findings per kernel
  *   --json           machine-readable report on stdout instead of the
- *                    table (diagnostics included)
+ *                    table (diagnostics and per-pass stats included;
+ *                    the summary line goes to stderr)
  *   --quiet          suppress per-diagnostic lines (summary table only)
  *
- * Exit status: 0 clean, 1 lint errors, 2 usage error.
+ * Exit status: 0 clean, 1 warnings only, 2 lint errors, 3 usage error.
  */
 
 #include <iostream>
 #include <sstream>
 
-#include "analysis/lint.hh"
+#include "analysis/pass.hh"
 #include "common/cli.hh"
 #include "common/log.hh"
 #include "common/table.hh"
@@ -60,6 +67,34 @@ selectKernels(const CliArgs& args)
     return names;
 }
 
+std::vector<std::string>
+selectPasses(const CliArgs& args)
+{
+    if (args.getBool("all-passes", false)) {
+        std::vector<std::string> names;
+        for (const PassInfo& p : allPasses())
+            names.push_back(p.name);
+        return names;
+    }
+    if (args.has("passes")) {
+        std::vector<std::string> names;
+        std::stringstream ss(args.getString("passes", ""));
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty()) {
+                if (findPass(item) == nullptr)
+                    fatal("unknown analysis pass '%s' (try "
+                          "--list-passes)",
+                          item.c_str());
+                names.push_back(item);
+            }
+        if (names.empty())
+            fatal("--passes given but no pass names parsed");
+        return names;
+    }
+    return defaultPassNames();
+}
+
 std::string
 jsonEscape(const std::string& s)
 {
@@ -77,16 +112,22 @@ jsonEscape(const std::string& s)
 }
 
 void
-printJson(std::ostream& os, const std::vector<LintReport>& reports)
+printJson(std::ostream& os, const std::vector<LintReport>& reports,
+          const std::vector<std::string>& passNames)
 {
-    os << "{\"kernels\":[";
+    os << "{\"schema_version\":2,\"passes\":[";
+    for (size_t i = 0; i < passNames.size(); ++i)
+        os << (i ? "," : "") << "\"" << jsonEscape(passNames[i]) << "\"";
+    os << "],\"kernels\":[";
     for (size_t i = 0; i < reports.size(); ++i) {
         const LintReport& r = reports[i];
         const LintMetrics& m = r.metrics;
         os << (i ? "," : "") << "{\"name\":\"" << jsonEscape(r.kernel)
            << "\",\"errors\":" << r.errors()
            << ",\"warnings\":" << r.warnings()
-           << ",\"infos\":" << r.infos() << ",\"metrics\":{"
+           << ",\"infos\":" << r.infos()
+           << ",\"suppressed\":" << r.diags.suppressedCount()
+           << ",\"metrics\":{"
            << "\"instrs\":" << m.instrs << ",\"memOps\":" << m.memOps
            << ",\"sharedOps\":" << m.sharedOps
            << ",\"regPressure\":" << m.regPressure
@@ -95,7 +136,18 @@ printJson(std::ostream& os, const std::vector<LintReport>& reports)
            << ",\"avgSharedConflictDegree\":"
            << Table::num(m.avgSharedConflictDegree(), 4)
            << ",\"maxSharedConflictDegree\":" << m.sharedDegreeMax
-           << "},\"diagnostics\":[";
+           << "},\"passes\":[";
+        for (size_t p = 0; p < r.passes.size(); ++p) {
+            const PassResult& pr = r.passes[p];
+            os << (p ? "," : "") << "{\"name\":\"" << jsonEscape(pr.pass)
+               << "\",\"stats\":{";
+            for (size_t s = 0; s < pr.stats.size(); ++s)
+                os << (s ? "," : "") << "\""
+                   << jsonEscape(pr.stats[s].first)
+                   << "\":" << Table::num(pr.stats[s].second, 4);
+            os << "}}";
+        }
+        os << "],\"diagnostics\":[";
         const auto& ds = r.diags.diagnostics();
         for (size_t j = 0; j < ds.size(); ++j) {
             const Diagnostic& d = ds[j];
@@ -118,12 +170,23 @@ main(int argc, char** argv)
     CliArgs args(argc, argv);
     if (!args.positional().empty()) {
         std::cerr << "usage: unimem_lint [--kernel=a,b] [--scale=F] "
-                     "[--jobs=N] [--Werror] [--max-instrs=N] [--json] "
-                     "[--quiet]\n";
-        return 2;
+                     "[--jobs=N] [--passes=a,b] [--all-passes] "
+                     "[--list-passes] [--Werror] [--max-instrs=N] "
+                     "[--max-diags=N] [--json] [--quiet]\n";
+        return 3;
+    }
+
+    verifyPassRegistry();
+
+    if (args.getBool("list-passes", false)) {
+        for (const PassInfo& p : allPasses())
+            std::cout << p.name << (p.inDefaultSet ? " [default]" : "")
+                      << "\n    " << p.description << "\n";
+        return 0;
     }
 
     std::vector<std::string> names = selectKernels(args);
+    std::vector<std::string> passNames = selectPasses(args);
     double scale = args.getDouble("scale", 0.5);
     u32 jobs = static_cast<u32>(args.getInt("jobs", 0));
 
@@ -131,6 +194,8 @@ main(int argc, char** argv)
     opt.werror = args.getBool("Werror", false);
     opt.maxInstrsPerWarp =
         static_cast<u32>(args.getInt("max-instrs", 4096));
+    opt.maxTotalSites =
+        static_cast<u64>(args.getInt("max-diags", 0));
 
     // Each job writes its LintReport into its own submission slot, so
     // the report vector — like every sweep table — is identical at any
@@ -140,9 +205,9 @@ main(int argc, char** argv)
     for (size_t i = 0; i < names.size(); ++i) {
         SweepJob job;
         job.label = "lint " + names[i];
-        job.run = [&reports, &names, &opt, scale, i]() {
+        job.run = [&reports, &names, &opt, &passNames, scale, i]() {
             auto k = createBenchmark(names[i], scale);
-            reports[i] = lintKernel(*k, opt);
+            reports[i] = lintKernel(*k, opt, passNames);
             return SimResult{};
         };
         sweep.push_back(std::move(job));
@@ -155,10 +220,15 @@ main(int argc, char** argv)
         errors += r.errors();
         warnings += r.warnings();
     }
+    int exit_code = errors > 0 ? 2 : warnings > 0 ? 1 : 0;
 
     if (args.getBool("json", false)) {
-        printJson(std::cout, reports);
-        return errors > 0 ? 1 : 0;
+        printJson(std::cout, reports, passNames);
+        std::cerr << "lint: " << names.size() << " kernels, "
+                  << passNames.size() << " passes, " << errors
+                  << " errors, " << warnings << " warnings ("
+                  << stats.summary() << ")\n";
+        return exit_code;
     }
 
     Table t({"kernel", "instrs", "errors", "warns", "infos", "pressure",
@@ -179,8 +249,9 @@ main(int argc, char** argv)
         for (const LintReport& r : reports)
             r.diags.print(std::cout);
 
-    std::cout << "lint: " << names.size() << " kernels, " << errors
+    std::cout << "lint: " << names.size() << " kernels, "
+              << passNames.size() << " passes, " << errors
               << " errors, " << warnings << " warnings ("
               << stats.summary() << ")\n";
-    return errors > 0 ? 1 : 0;
+    return exit_code;
 }
