@@ -23,57 +23,6 @@ opcodeName(Opcode op)
     panic("opcodeName: bad opcode %d", static_cast<int>(op));
 }
 
-bool
-isMemOp(Opcode op)
-{
-    switch (op) {
-      case Opcode::LdGlobal:
-      case Opcode::StGlobal:
-      case Opcode::LdShared:
-      case Opcode::StShared:
-      case Opcode::LdLocal:
-      case Opcode::StLocal:
-      case Opcode::Tex:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isLoad(Opcode op)
-{
-    return op == Opcode::LdGlobal || op == Opcode::LdShared ||
-           op == Opcode::LdLocal || op == Opcode::Tex;
-}
-
-bool
-isStore(Opcode op)
-{
-    return op == Opcode::StGlobal || op == Opcode::StShared ||
-           op == Opcode::StLocal;
-}
-
-bool
-isGlobalSpace(Opcode op)
-{
-    return op == Opcode::LdGlobal || op == Opcode::StGlobal ||
-           op == Opcode::LdLocal || op == Opcode::StLocal;
-}
-
-bool
-isSharedSpace(Opcode op)
-{
-    return op == Opcode::LdShared || op == Opcode::StShared;
-}
-
-bool
-isLongLatency(Opcode op)
-{
-    return op == Opcode::LdGlobal || op == Opcode::LdLocal ||
-           op == Opcode::Tex;
-}
-
 const OpcodeShape&
 opcodeShape(Opcode op)
 {

@@ -30,26 +30,63 @@ enum class Opcode : u8
 /** Human-readable opcode name. */
 const char* opcodeName(Opcode op);
 
+// The classification predicates below are constexpr in the header: the
+// issue loop consults several of them per instruction, and as
+// out-of-line calls they were among the most-called functions in the
+// whole simulator profile.
+
 /** Any memory-space access (global/shared/local/texture). */
-bool isMemOp(Opcode op);
+constexpr bool
+isMemOp(Opcode op)
+{
+    static_assert(static_cast<u8>(Opcode::Tex) -
+                          static_cast<u8>(Opcode::LdGlobal) ==
+                      6,
+                  "isMemOp relies on the memory opcodes being contiguous");
+    return op >= Opcode::LdGlobal && op <= Opcode::Tex;
+}
 
 /** Loads that produce a register value. */
-bool isLoad(Opcode op);
+constexpr bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::LdShared ||
+           op == Opcode::LdLocal || op == Opcode::Tex;
+}
 
 /** Stores. */
-bool isStore(Opcode op);
+constexpr bool
+isStore(Opcode op)
+{
+    return op == Opcode::StGlobal || op == Opcode::StShared ||
+           op == Opcode::StLocal;
+}
 
 /** Accesses that go through the primary data cache and DRAM. */
-bool isGlobalSpace(Opcode op);
+constexpr bool
+isGlobalSpace(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::StGlobal ||
+           op == Opcode::LdLocal || op == Opcode::StLocal;
+}
 
 /** Accesses to the scratchpad. */
-bool isSharedSpace(Opcode op);
+constexpr bool
+isSharedSpace(Opcode op)
+{
+    return op == Opcode::LdShared || op == Opcode::StShared;
+}
 
 /**
  * Variable/long-latency producers: the two-level scheduler deschedules a
  * warp that becomes dependent on one of these (paper Section 2.1).
  */
-bool isLongLatency(Opcode op);
+constexpr bool
+isLongLatency(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::LdLocal ||
+           op == Opcode::Tex;
+}
 
 /**
  * Static operand-shape constraints of one opcode, used by the trace

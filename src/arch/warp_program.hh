@@ -109,6 +109,12 @@ class InstrStream
         if (done_)
             return nullptr;
         buf_.clear();
+        // Skip the geometric growth ramp on a stream's first refill:
+        // every chunk ends at or just past the target, and WarpInstr is
+        // ~300 bytes, so the handful of doubling reallocations per
+        // fresh stream copied tens of kilobytes each.
+        if (buf_.capacity() < kChunkTarget)
+            buf_.reserve(kChunkTarget + kChunkTarget / 2);
         pos_ = 0;
         while (buf_.size() < kChunkTarget) {
             if (!prog_->fill(buf_)) {

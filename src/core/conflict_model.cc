@@ -9,49 +9,6 @@ namespace unimem {
 
 namespace {
 
-/** Collect distinct values (words, chunks, or lines) from a warp's lanes. */
-class DistinctSet
-{
-  public:
-    void
-    add(Addr v)
-    {
-        // Scan newest-first: lane-order address runs put duplicates
-        // next to the most recent insertion.
-        for (u32 i = size_; i-- > 0;)
-            if (vals_[i] == v)
-                return;
-        if (size_ < vals_.size())
-            vals_[size_++] = v;
-    }
-
-    u32 size() const { return size_; }
-    Addr operator[](u32 i) const { return vals_[i]; }
-
-  private:
-    /** 8-byte accesses touch up to two 4-byte words per lane. */
-    std::array<Addr, 2 * kWarpWidth> vals_; // only [0, size_) is live
-    u32 size_ = 0;
-};
-
-/**
- * Distinct granule indices an instruction's active lanes touch. Every
- * lane contributes each @p granule -sized unit its accessBytes span
- * covers — an 8-byte access occupies two 4-byte words (and, when
- * misaligned across a boundary, two 16-byte chunks), exactly the units
- * the banks must serve.
- */
-DistinctSet
-distinctGranules(const WarpInstr& in, u32 granule)
-{
-    DistinctSet set;
-    for (u32 lane = 0; lane < kWarpWidth; ++lane)
-        if (in.laneActive(lane))
-            for (u32 b = 0; b < in.accessBytes; b += 4)
-                set.add((in.addr[lane] + b) / granule);
-    return set;
-}
-
 bool
 usesDataBanks(Opcode op)
 {
@@ -60,6 +17,73 @@ usesDataBanks(Opcode op)
 }
 
 } // namespace
+
+u32
+ConflictModel::collectWords(const WarpInstr& in, Addr* out) const
+{
+    // Every lane contributes each 4-byte word its accessBytes span
+    // covers — an 8-byte access occupies two words, exactly the units
+    // the banks must serve.
+    //
+    // The common footprints (unit/constant positive stride) emit their
+    // words in non-decreasing order, where first-occurrence dedup
+    // degenerates to skipping adjacent repeats — same output array as
+    // the hash path, without the per-word probe. Gather first, pick the
+    // dedup strategy after.
+    Addr raw[2 * kWarpWidth];
+    u32 n_raw = 0;
+    bool sorted = true;
+    for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+        if (!in.laneActive(lane))
+            continue;
+        for (u32 b = 0; b < in.accessBytes; b += 4) {
+            Addr w = (in.addr[lane] + b) / kPartitionedBankWidth;
+            sorted &= n_raw == 0 || w >= raw[n_raw - 1];
+            raw[n_raw++] = w;
+        }
+    }
+    u32 n = 0;
+    if (sorted) {
+        for (u32 i = 0; i < n_raw; ++i)
+            if (n == 0 || raw[i] != out[n - 1])
+                out[n++] = raw[i];
+        return n;
+    }
+    scratch_.begin();
+    for (u32 i = 0; i < n_raw; ++i)
+        if (scratch_.insert(raw[i]))
+            out[n++] = raw[i];
+    return n;
+}
+
+u32
+ConflictModel::dedupShifted(const Addr* vals, u32 n, u32 shift,
+                            Addr* out) const
+{
+    // Deduplicated input in ascending order (the usual case: it came
+    // from collectWords' sorted path) stays ascending after the shift,
+    // so adjacent-skip reproduces the hash path's first-occurrence
+    // output exactly.
+    bool sorted = true;
+    for (u32 i = 1; i < n; ++i)
+        sorted &= vals[i] >= vals[i - 1];
+    u32 m = 0;
+    if (sorted) {
+        for (u32 i = 0; i < n; ++i) {
+            Addr v = vals[i] >> shift;
+            if (m == 0 || v != out[m - 1])
+                out[m++] = v;
+        }
+        return m;
+    }
+    scratch_.begin();
+    for (u32 i = 0; i < n; ++i) {
+        Addr v = vals[i] >> shift;
+        if (scratch_.insert(v))
+            out[m++] = v;
+    }
+    return m;
+}
 
 ConflictOutcome
 ConflictModel::evaluate(const WarpInstr& in, const u8* mrfBanks,
@@ -84,22 +108,73 @@ ConflictModel::evalPartitioned(const WarpInstr& in, const u8* mrfBanks,
 
     u32 mem_max = 0;
     if (usesDataBanks(in.op)) {
-        DistinctSet words = distinctGranules(in, kPartitionedBankWidth);
-        out.distinctWords = words.size();
-        // Chunk count is reported for cross-design comparisons even
-        // though the partitioned design moves data in 4-byte words.
-        out.distinctChunks =
-            distinctGranules(in, kUnifiedBankWidth).size();
-
-        if (isSharedSpace(in.op)) {
+        // Gather the raw word stream once. In the sorted common case
+        // (all strided kernel footprints) every output this function
+        // reports is an order-independent reduction over the *distinct*
+        // words — a count, a shifted count, and a histogram max — and
+        // sorted first-occurrence dedup is adjacent-unique, so one
+        // fused pass over the raw stream produces all three without
+        // materializing the words/chunks arrays or re-scanning them.
+        Addr raw[2 * kWarpWidth];
+        u32 n_raw = 0;
+        bool sorted = true;
+        for (u32 lane = 0; lane < kWarpWidth; ++lane) {
+            if (!in.laneActive(lane))
+                continue;
+            for (u32 b = 0; b < in.accessBytes; b += 4) {
+                Addr w = (in.addr[lane] + b) / kPartitionedBankWidth;
+                sorted &= n_raw == 0 || w >= raw[n_raw - 1];
+                raw[n_raw++] = w;
+            }
+        }
+        const bool is_shared = isSharedSpace(in.op);
+        if (sorted) {
+            u32 num_words = 0;
+            u32 num_chunks = 0;
+            Addr prev_chunk = 0;
             std::array<u32, kBanksPerSm> memCounts{};
-            for (u32 i = 0; i < words.size(); ++i)
-                ++memCounts[words[i] % kBanksPerSm];
-            mem_max = *std::max_element(memCounts.begin(), memCounts.end());
+            for (u32 i = 0; i < n_raw; ++i) {
+                Addr w = raw[i];
+                // Non-decreasing stream: equal words are contiguous.
+                if (i != 0 && w == raw[i - 1])
+                    continue;
+                ++num_words;
+                if (is_shared) {
+                    u32 c = ++memCounts[w % kBanksPerSm];
+                    mem_max = std::max(mem_max, c);
+                }
+                // Distinct words ascend, so their >>2 images are
+                // non-decreasing: adjacent-unique again.
+                Addr ch = w >> 2;
+                if (num_chunks == 0 || ch != prev_chunk)
+                    ++num_chunks;
+                prev_chunk = ch;
+            }
+            out.distinctWords = num_words;
+            // Chunk count is reported for cross-design comparisons even
+            // though the partitioned design moves data in 4-byte words.
+            out.distinctChunks = num_chunks;
+            if (!is_shared)
+                mem_max = num_words > 0 ? 1 : 0;
         } else {
-            // Aligned full-line cache access: one access per bank per
-            // line; multi-line serialization is charged at the tag port.
-            mem_max = words.size() > 0 ? 1 : 0;
+            Addr words[2 * kWarpWidth];
+            Addr chunks[2 * kWarpWidth];
+            u32 num_words = collectWords(in, words);
+            out.distinctWords = num_words;
+            out.distinctChunks =
+                dedupShifted(words, num_words, 2, chunks);
+            if (is_shared) {
+                std::array<u32, kBanksPerSm> memCounts{};
+                for (u32 i = 0; i < num_words; ++i)
+                    ++memCounts[words[i] % kBanksPerSm];
+                mem_max =
+                    *std::max_element(memCounts.begin(), memCounts.end());
+            } else {
+                // Aligned full-line cache access: one access per bank
+                // per line; multi-line serialization is charged at the
+                // tag port.
+                mem_max = num_words > 0 ? 1 : 0;
+            }
         }
         out.dataMaxPerBank = mem_max;
     }
@@ -130,10 +205,12 @@ ConflictModel::evalUnified(const WarpInstr& in, const u8* mrfBanks,
     }
 
     if (usesDataBanks(in.op)) {
-        DistinctSet chunks = distinctGranules(in, kUnifiedBankWidth);
-        out.distinctChunks = chunks.size();
-        out.distinctWords =
-            distinctGranules(in, kPartitionedBankWidth).size();
+        Addr words[2 * kWarpWidth];
+        Addr chunks[2 * kWarpWidth];
+        u32 num_words = collectWords(in, words);
+        out.distinctWords = num_words;
+        u32 num_chunks = dedupShifted(words, num_words, 2, chunks);
+        out.distinctChunks = num_chunks;
 
         if (isSharedSpace(in.op)) {
             // Scatter/gather access: every distinct 16-byte chunk is a
@@ -142,7 +219,7 @@ ConflictModel::evalUnified(const WarpInstr& in, const u8* mrfBanks,
             // their own first so dataMaxPerBank excludes operand reads.
             std::array<std::array<u32, kBanksPerCluster>, kNumClusters>
                 dataCounts{};
-            for (u32 i = 0; i < chunks.size(); ++i) {
+            for (u32 i = 0; i < num_chunks; ++i) {
                 Addr k = chunks[i];
                 u32 cluster = static_cast<u32>(k % kNumClusters);
                 u32 bank = static_cast<u32>((k / kNumClusters) %
@@ -161,10 +238,12 @@ ConflictModel::evalUnified(const WarpInstr& in, const u8* mrfBanks,
             // Cache access: a 128-byte line is read/written as one
             // parallel access to bank (line % 4) in all 8 clusters;
             // multiple lines contend only at bank granularity (they
-            // already serialize on the tag port).
-            DistinctSet lines = distinctGranules(in, kCacheLineBytes);
+            // already serialize on the tag port). 16-byte chunks fold
+            // into 128-byte lines with a further >>3.
+            Addr lines[2 * kWarpWidth];
+            u32 num_lines = dedupShifted(chunks, num_chunks, 3, lines);
             std::array<u32, kBanksPerCluster> linesPerBank{};
-            for (u32 i = 0; i < lines.size(); ++i) {
+            for (u32 i = 0; i < num_lines; ++i) {
                 u32 bank =
                     static_cast<u32>(lines[i] % kBanksPerCluster);
                 ++linesPerBank[bank];

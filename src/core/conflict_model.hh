@@ -96,6 +96,77 @@ class ConflictModel
     ConflictOutcome evalUnified(const WarpInstr& in, const u8* mrfBanks,
                                 u32 numMrfReads) const;
 
+    /**
+     * Scratch for distinct-granule collection: an open-addressing set
+     * with generation-stamped slots, so each collection starts O(1)
+     * (bump the stamp) instead of clearing memory, and membership
+     * tests are O(1) probes instead of the linear scan that made
+     * conflict evaluation quadratic in the footprint size. Purely an
+     * algorithmic swap: callers consume only the distinct values and
+     * their count, which are set properties independent of how the
+     * set is represented.
+     *
+     * Sized 4x the worst case (32 lanes x 2 words each = 64 distinct
+     * values) so probe chains stay short. Mutable because evaluation
+     * is logically const; ConflictModel is per-SM and thread-confined
+     * like the footprint cache.
+     */
+    struct DistinctScratch
+    {
+        static constexpr u32 kSlots = 256;
+
+        std::array<Addr, kSlots> val;
+        std::array<u32, kSlots> stamp{}; // 0 = never written
+        u32 gen = 0;
+
+        /** Start a fresh (empty) set. */
+        void
+        begin()
+        {
+            if (++gen == 0) { // stamp wrap: only now is a clear needed
+                stamp.fill(0);
+                gen = 1;
+            }
+        }
+
+        /** Insert @p v; true if it was not yet in the set. */
+        bool
+        insert(Addr v)
+        {
+            // Fibonacci multiplicative hash; high bits are well mixed.
+            u32 h = static_cast<u32>(
+                        (v * 0x9e3779b97f4a7c15ull) >> 32) &
+                    (kSlots - 1);
+            for (;;) {
+                if (stamp[h] != gen) {
+                    stamp[h] = gen;
+                    val[h] = v;
+                    return true;
+                }
+                if (val[h] == v)
+                    return false;
+                h = (h + 1) & (kSlots - 1);
+            }
+        }
+    };
+
+    mutable DistinctScratch scratch_;
+
+    /**
+     * Distinct 4-byte word indices the instruction's active lanes
+     * touch, written to @p out in first-touch order. Coarser granules
+     * (16-byte chunks, 128-byte lines) are derived from this list:
+     * every granule contribution is (addr + 4k) / granule, and
+     * x/16 == (x/4)/4, x/128 == (x/4)/32 in integer arithmetic, so
+     * deduplicating word/4 (word/32) over the distinct words yields
+     * exactly the set a direct per-lane collection would.
+     */
+    u32 collectWords(const WarpInstr& in, Addr* out) const;
+
+    /** Deduplicate @p n values shifted right by @p shift into @p out. */
+    u32 dedupShifted(const Addr* vals, u32 n, u32 shift,
+                     Addr* out) const;
+
     DesignKind kind_;
     bool aggressive_;
 };

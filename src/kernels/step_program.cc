@@ -28,43 +28,6 @@ StepProgram::fill(std::vector<WarpInstr>& buf)
     return true;
 }
 
-RegId
-StepProgram::nextReg()
-{
-    RegId r = static_cast<RegId>(rot_ % numRegs_);
-    ++rot_;
-    last_ = r;
-    recent_[recentPos_ % recent_.size()] = r;
-    ++recentPos_;
-    return r;
-}
-
-RegId
-StepProgram::randomReg()
-{
-    return static_cast<RegId>(rng_.range(numRegs_));
-}
-
-RegId
-StepProgram::recentReg()
-{
-    u32 n = std::min<u32>(recentPos_, static_cast<u32>(recent_.size()));
-    if (n == 0)
-        return 0;
-    return recent_[rng_.range(n)];
-}
-
-WarpInstr&
-StepProgram::append(Opcode op, RegId dst, u32 mask)
-{
-    buf_->emplace_back();
-    WarpInstr& in = buf_->back();
-    in.op = op;
-    in.dst = dst;
-    in.activeMask = mask;
-    return in;
-}
-
 void
 StepProgram::alu(u32 count, bool fp, double recentFrac)
 {
@@ -79,18 +42,6 @@ StepProgram::alu(u32 count, bool fp, double recentFrac)
         in.src[1] = s1;
         in.numSrc = 2;
     }
-}
-
-RegId
-StepProgram::avoidBankOf(RegId r, RegId other)
-{
-    // Real compilers allocate the operands of one instruction to
-    // different MRF banks (paper Section 2.1 / [27]); model that with a
-    // high success rate, leaving a residue of unavoidable conflicts.
-    if (r % kBanksPerCluster == other % kBanksPerCluster &&
-        rng_.chance(0.9))
-        return static_cast<RegId>((r + 1) % numRegs_);
-    return r;
 }
 
 void

@@ -13,6 +13,7 @@
 #ifndef UNIMEM_KERNELS_STEP_PROGRAM_HH
 #define UNIMEM_KERNELS_STEP_PROGRAM_HH
 
+#include <algorithm>
 #include <array>
 
 #include "arch/gpu_constants.hh"
@@ -70,19 +71,39 @@ class StepProgram : public WarpProgram
 
     // ---- register helpers -------------------------------------------
 
+    // The register helpers and emission primitives are in the header:
+    // they run once or more per generated instruction, and trace
+    // generation is a measurable slice of a whole simulation run.
+
     /** Most recently written register. */
     RegId lastReg() const { return last_; }
 
     /** Next rotating destination register. */
-    RegId nextReg();
+    RegId
+    nextReg()
+    {
+        RegId r = static_cast<RegId>(rot_ % numRegs_);
+        ++rot_;
+        last_ = r;
+        recent_[recentPos_ % recent_.size()] = r;
+        ++recentPos_;
+        return r;
+    }
 
     /** Uniformly random register id below the budget. */
-    RegId randomReg();
+    RegId randomReg() { return static_cast<RegId>(rng_.range(numRegs_)); }
 
     /**
      * One of the last few written registers (likely still in the ORF).
      */
-    RegId recentReg();
+    RegId
+    recentReg()
+    {
+        u32 n = std::min<u32>(recentPos_, static_cast<u32>(recent_.size()));
+        if (n == 0)
+            return 0;
+        return recent_[rng_.range(n)];
+    }
 
     // ---- emission helpers -------------------------------------------
 
@@ -132,8 +153,30 @@ class StepProgram : public WarpProgram
                    u32 mask = kFullMask);
 
   private:
-    WarpInstr& append(Opcode op, RegId dst, u32 mask);
-    RegId avoidBankOf(RegId r, RegId other);
+    WarpInstr&
+    append(Opcode op, RegId dst, u32 mask)
+    {
+        buf_->emplace_back();
+        WarpInstr& in = buf_->back();
+        in.op = op;
+        in.dst = dst;
+        in.activeMask = mask;
+        return in;
+    }
+
+    RegId
+    avoidBankOf(RegId r, RegId other)
+    {
+        // Real compilers allocate the operands of one instruction to
+        // different MRF banks (paper Section 2.1 / [27]); model that
+        // with a high success rate, leaving a residue of unavoidable
+        // conflicts.
+        if (r % kBanksPerCluster == other % kBanksPerCluster &&
+            rng_.chance(0.9))
+            return static_cast<RegId>((r + 1) % numRegs_);
+        return r;
+    }
+
     RegId emitAddrCompute();
 
     /**

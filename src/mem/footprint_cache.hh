@@ -83,12 +83,29 @@ class FootprintCache
         u8 accessBytes = 0;
         u8 sig = 0;
         u8 numLines = kLinesUnknown;
-        bool valid = false;
+        /** Valid iff equal to the owning cache's epoch (see slabPool). */
+        u64 gen = 0;
         Outcome outcome{};
         std::array<CoalescedAccess, kMaxInlineLines> lines{};
     };
 
     FootprintCache() : enabled_(footprintCacheEnabledByEnv()) {}
+
+    /**
+     * Return the slot slab to the thread-local pool instead of freeing
+     * it. The next cache instance that inherits the slab claims a fresh
+     * epoch, which invalidates every inherited entry without touching
+     * the ~3 MB of slot memory — constructing an SM model no longer
+     * pays a multi-megabyte zero-fill per simulation run.
+     */
+    ~FootprintCache()
+    {
+        if (!mem_.empty())
+            slabPool().push_back(std::move(mem_));
+    }
+
+    FootprintCache(const FootprintCache&) = delete;
+    FootprintCache& operator=(const FootprintCache&) = delete;
 
     bool enabled() const { return enabled_; }
     void setEnabled(bool on) { enabled_ = on; }
@@ -114,37 +131,64 @@ class FootprintCache
         compute_[sig].valid = true;
     }
 
-    /** Verified lookup for data-bank ops. nullptr on miss. */
-    MemEntry*
-    findMem(const WarpInstr& in, u8 sig)
+    /**
+     * One slot computation serving both lookup and (on a miss) the
+     * subsequent insert — the issue path previously hashed the same
+     * key twice per miss.
+     */
+    struct MemProbe
+    {
+        MemEntry* entry; ///< the key's slot, hit or not
+        bool hit;        ///< entry verified against the full key
+    };
+
+    /** Verified single-probe lookup for data-bank ops. */
+    MemProbe
+    probeMem(const WarpInstr& in, u8 sig)
     {
         MemEntry& e = slotFor(in, sig);
-        if (e.valid && e.op == in.op && e.activeMask == in.activeMask &&
+        if (e.gen == memGen_ && e.op == in.op &&
+            e.activeMask == in.activeMask &&
             e.accessBytes == in.accessBytes && e.sig == sig &&
             e.addr == in.addr) {
             ++stats_.memHits;
-            return &e;
+            return {&e, true};
         }
         ++stats_.memMisses;
-        return nullptr;
+        return {&e, false};
     }
 
     /**
-     * Claim (overwrite) the slot for @p in and fill its key. The caller
-     * stores the freshly computed outcome; lines stay kLinesUnknown
-     * until the global-memory path coalesces them.
+     * Claim (overwrite) a missed probe's slot with @p in's key. The
+     * caller stores the freshly computed outcome; lines stay
+     * kLinesUnknown until the global-memory path coalesces them.
      */
-    MemEntry&
-    insertMem(const WarpInstr& in, u8 sig)
+    void
+    claimMem(MemEntry& e, const WarpInstr& in, u8 sig)
     {
-        MemEntry& e = slotFor(in, sig);
         e.addr = in.addr;
         e.activeMask = in.activeMask;
         e.op = in.op;
         e.accessBytes = in.accessBytes;
         e.sig = sig;
         e.numLines = kLinesUnknown;
-        e.valid = true;
+        e.gen = memGen_;
+    }
+
+    /** Verified lookup for data-bank ops. nullptr on miss. */
+    MemEntry*
+    findMem(const WarpInstr& in, u8 sig)
+    {
+        MemProbe p = probeMem(in, sig);
+        return p.hit ? p.entry : nullptr;
+    }
+
+    /** findMem-compatible claim that redoes the slot lookup (tests). */
+    MemEntry&
+    insertMem(const WarpInstr& in, u8 sig)
+    {
+        MemEntry& e = slotFor(in, sig);
+        claimMem(e, in, sig);
         return e;
     }
 
@@ -163,29 +207,71 @@ class FootprintCache
     {
         // The slot array is sized for hot sets of a few hundred live
         // static instructions; allocate it only when a data-bank op
-        // actually shows up (pure-compute or disabled runs stay lean).
-        if (mem_.empty())
-            mem_.resize(kMemSlots);
-        u64 h = 14695981039346656037ull;
-        constexpr u64 kPrime = 1099511628211ull;
-        for (Addr a : in.addr)
-            h = (h ^ a) * kPrime;
-        h = (h ^ in.activeMask) * kPrime;
-        h = (h ^ static_cast<u64>(in.op)) * kPrime;
-        h = (h ^ in.accessBytes) * kPrime;
-        h = (h ^ sig) * kPrime;
-        // XOR and multiply are closed mod 2^k, so without a finalizer
-        // the slot index would only see the low bits of the addresses —
-        // and strided kernel footprints collapse onto a handful of
-        // slots. Fold the high bits down first (Murmur3-style).
+        // actually shows up (pure-compute or disabled runs stay lean),
+        // and prefer a recycled slab over a fresh zero-fill. Claiming
+        // an epoch strictly above every gen stamp any pooled slab can
+        // carry makes all inherited entries misses, so a recycled cache
+        // is observably identical to a zero-initialized one.
+        if (mem_.empty()) {
+            auto& pool = slabPool();
+            if (!pool.empty()) {
+                mem_ = std::move(pool.back());
+                pool.pop_back();
+            } else {
+                mem_.resize(kMemSlots);
+            }
+            memGen_ = ++epochCounter();
+        }
+        // Fold a sample of lanes rather than all 32: the slot index
+        // only steers collision rate (the full-key compare in findMem
+        // keeps hits exact), and real footprint families — strided
+        // accesses differing in base, stride, or span, plus scattered
+        // ones — already separate on the first, second, middle, and
+        // last lanes. Hashing every lane cost a 32-step fold on each
+        // data-bank issue for no measurable hit-rate gain.
+        u64 h = (static_cast<u64>(in.activeMask) << 24) ^
+                (static_cast<u64>(in.op) << 16) ^
+                (static_cast<u64>(in.accessBytes) << 8) ^ sig;
+        h ^= in.addr[0];
+        h ^= (in.addr[1] << 9) | (in.addr[1] >> 55);
+        h ^= (in.addr[kWarpWidth / 2] << 21) | (in.addr[kWarpWidth / 2] >> 43);
+        h ^= (in.addr[kWarpWidth - 1] << 43) | (in.addr[kWarpWidth - 1] >> 21);
+        // Murmur3 finalizer: the fold above is xor-linear, so without
+        // strong bit mixing the slot index would see only low-entropy
+        // combinations of the address bits.
         h ^= h >> 33;
         h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+        h *= 0xc4ceb9fe1a85ec53ull;
         h ^= h >> 33;
         return mem_[h & (kMemSlots - 1)];
     }
 
+    /**
+     * Thread-local free list of retired slot slabs. Thread-local (not
+     * global) so chip co-simulation workers never share slabs: each
+     * worker's acquire/release stays lock-free, and a worker's epoch
+     * sequence depends only on its own cache lifetimes, keeping the
+     * simulation bitwise independent of the worker count.
+     */
+    static std::vector<std::vector<MemEntry>>&
+    slabPool()
+    {
+        static thread_local std::vector<std::vector<MemEntry>> pool;
+        return pool;
+    }
+
+    /** Monotonic epoch source; fresh slabs stamp entries with gen 0. */
+    static u64&
+    epochCounter()
+    {
+        static thread_local u64 epoch = 0;
+        return epoch;
+    }
+
     std::array<ComputeEntry, 256> compute_{};
     std::vector<MemEntry> mem_;
+    u64 memGen_ = 0;
     bool enabled_;
     FootprintStats stats_;
 };

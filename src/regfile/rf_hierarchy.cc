@@ -12,13 +12,14 @@ WarpRegFile::WarpRegFile(const RfHierarchyConfig& cfg, u32 warpSlot)
 void
 WarpRegFile::reset(const RfHierarchyConfig& cfg, u32 warpSlot)
 {
-    if (cfg.orfEntries > orf_.size())
+    if (cfg.orfEntries > orfReg_.size())
         fatal("WarpRegFile: orfEntries %u exceeds model maximum %zu",
-              cfg.orfEntries, orf_.size());
+              cfg.orfEntries, orfReg_.size());
     cfg_ = cfg;
     warpSlot_ = warpSlot;
     lrfReg_ = kInvalidReg;
-    orf_.fill(OrfEntry{});
+    orfReg_.fill(kInvalidReg);
+    orfUse_.fill(0);
     useClock_ = 0;
     counts_ = RfAccessCounts{};
 }
@@ -31,98 +32,9 @@ WarpRegFile::inHierarchy(RegId r) const
     if (r == lrfReg_)
         return true;
     for (u32 i = 0; i < cfg_.orfEntries; ++i)
-        if (orf_[i].reg == r)
+        if (orfReg_[i] == r)
             return true;
     return false;
-}
-
-void
-WarpRegFile::writeDst(RegId r, bool toMrf)
-{
-    ++counts_.dstWrites;
-
-    if (!cfg_.enabled || toMrf) {
-        ++counts_.mrfWrites;
-        // The value now lives in the MRF; drop stale hierarchy copies.
-        if (lrfReg_ == r)
-            lrfReg_ = kInvalidReg;
-        for (u32 i = 0; i < cfg_.orfEntries; ++i)
-            if (orf_[i].reg == r)
-                orf_[i].reg = kInvalidReg;
-        return;
-    }
-
-    // Overwriting a register that is already in the hierarchy simply
-    // replaces it (the old value dies without an MRF writeback).
-    for (u32 i = 0; i < cfg_.orfEntries; ++i)
-        if (orf_[i].reg == r)
-            orf_[i].reg = kInvalidReg;
-
-    if (lrfReg_ != kInvalidReg && lrfReg_ != r) {
-        // Demote the previous last-result into the ORF.
-        OrfEntry* victim = nullptr;
-        for (u32 i = 0; i < cfg_.orfEntries; ++i) {
-            if (orf_[i].reg == kInvalidReg) {
-                victim = &orf_[i];
-                break;
-            }
-            if (victim == nullptr || orf_[i].lastUse < victim->lastUse)
-                victim = &orf_[i];
-        }
-        if (victim != nullptr) {
-            if (victim->reg != kInvalidReg) {
-                // Evicted ORF value must persist in the MRF.
-                ++counts_.mrfWrites;
-            }
-            victim->reg = lrfReg_;
-            victim->lastUse = ++useClock_;
-            ++counts_.orfWrites;
-        } else {
-            // No ORF configured: previous LRF value goes to MRF.
-            ++counts_.mrfWrites;
-        }
-    }
-
-    lrfReg_ = r;
-    ++counts_.lrfWrites;
-}
-
-u32
-WarpRegFile::accessOperands(const WarpInstr& in, bool isLongLatencyLoad,
-                            u8* outBanks)
-{
-    u32 num_mrf = 0;
-    for (u8 s = 0; s < in.numSrc; ++s) {
-        RegId r = in.src[s];
-        if (r == kInvalidReg)
-            continue;
-        ++counts_.srcReads;
-        if (cfg_.enabled && r == lrfReg_) {
-            ++counts_.lrfReads;
-            continue;
-        }
-        bool in_orf = false;
-        if (cfg_.enabled) {
-            for (u32 i = 0; i < cfg_.orfEntries; ++i) {
-                if (orf_[i].reg == r) {
-                    orf_[i].lastUse = ++useClock_;
-                    ++counts_.orfReads;
-                    in_orf = true;
-                    break;
-                }
-            }
-        }
-        if (!in_orf) {
-            ++counts_.mrfReads;
-            if (outBanks != nullptr)
-                outBanks[num_mrf] = static_cast<u8>(mrfBank(r));
-            ++num_mrf;
-        }
-    }
-
-    if (in.hasDst())
-        writeDst(in.dst, isLongLatencyLoad);
-    return num_mrf;
 }
 
 void
@@ -136,10 +48,10 @@ WarpRegFile::flushToMrf()
         lrfReg_ = kInvalidReg;
     }
     for (u32 i = 0; i < cfg_.orfEntries; ++i) {
-        if (orf_[i].reg != kInvalidReg) {
+        if (orfReg_[i] != kInvalidReg) {
             ++counts_.mrfWrites;
             ++counts_.descheduleWritebacks;
-            orf_[i].reg = kInvalidReg;
+            orfReg_[i] = kInvalidReg;
         }
     }
 }

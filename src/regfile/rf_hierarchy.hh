@@ -106,14 +106,62 @@ class WarpRegFile
      * register of every lane lives in the same bank index in each
      * cluster.
      *
+     * In the header (with writeDst below) because the pair runs exactly
+     * once per issued instruction: the bodies are short linear scans
+     * over at most cfg_.orfEntries slots, and the out-of-line calls
+     * showed up as a top-five cost in the issue loop profile.
+     *
      * @param in the instruction being issued
      * @param isLongLatencyLoad destination is produced by a descheduling
      *        load and is written straight to the MRF
      * @param outBanks caller array of at least 3 entries (may be null)
      * @return number of MRF reads recorded into @p outBanks
      */
-    u32 accessOperands(const WarpInstr& in, bool isLongLatencyLoad,
-                       u8* outBanks);
+    u32
+    accessOperands(const WarpInstr& in, bool isLongLatencyLoad, u8* outBanks)
+    {
+        u32 num_mrf = 0;
+        for (u8 s = 0; s < in.numSrc; ++s) {
+            RegId r = in.src[s];
+            if (r == kInvalidReg)
+                continue;
+            ++counts_.srcReads;
+            if (cfg_.enabled && r == lrfReg_) {
+                ++counts_.lrfReads;
+                continue;
+            }
+            bool in_orf = false;
+            if (cfg_.enabled) {
+                // Branchless membership test over the full fixed-size
+                // array: slots past cfg_.orfEntries hold kInvalidReg
+                // forever and r != kInvalidReg here, so they can never
+                // match. Eight u16 compares fold to one vector compare
+                // instead of a data-dependent branchy scan, and a
+                // register is in the ORF at most once (writeDst clears
+                // duplicates), so the low set bit is the old loop's
+                // first (only) match.
+                u32 hit = 0;
+                for (u32 i = 0; i < orfReg_.size(); ++i)
+                    hit |= static_cast<u32>(orfReg_[i] == r) << i;
+                if (hit != 0) {
+                    orfUse_[static_cast<u32>(__builtin_ctz(hit))] =
+                        ++useClock_;
+                    ++counts_.orfReads;
+                    in_orf = true;
+                }
+            }
+            if (!in_orf) {
+                ++counts_.mrfReads;
+                if (outBanks != nullptr)
+                    outBanks[num_mrf] = static_cast<u8>(mrfBank(r));
+                ++num_mrf;
+            }
+        }
+
+        if (in.hasDst())
+            writeDst(in.dst, isLongLatencyLoad);
+        return num_mrf;
+    }
 
     /** Write all dirty LRF/ORF values back to the MRF (deschedule). */
     void flushToMrf();
@@ -131,20 +179,79 @@ class WarpRegFile
     bool inHierarchy(RegId r) const;
 
   private:
-    void writeDst(RegId r, bool toMrf);
+    void
+    writeDst(RegId r, bool toMrf)
+    {
+        ++counts_.dstWrites;
+
+        if (!cfg_.enabled || toMrf) {
+            ++counts_.mrfWrites;
+            // The value now lives in the MRF; drop stale hierarchy
+            // copies (cmov-friendly full-array sweep, as above).
+            if (lrfReg_ == r)
+                lrfReg_ = kInvalidReg;
+            for (u32 i = 0; i < orfReg_.size(); ++i)
+                if (orfReg_[i] == r)
+                    orfReg_[i] = kInvalidReg;
+            return;
+        }
+
+        // Overwriting a register that is already in the hierarchy simply
+        // replaces it (the old value dies without an MRF writeback).
+        for (u32 i = 0; i < orfReg_.size(); ++i)
+            if (orfReg_[i] == r)
+                orfReg_[i] = kInvalidReg;
+
+        if (lrfReg_ != kInvalidReg && lrfReg_ != r) {
+            if (cfg_.orfEntries == 0) {
+                // No ORF configured: previous LRF value goes to MRF.
+                ++counts_.mrfWrites;
+            } else {
+                // Demote the previous last-result into the ORF. Victim
+                // rule as one min-reduction: an invalid slot scores 0,
+                // a valid slot its lastUse stamp (always >= 1, and
+                // distinct — each assignment ticks the clock), and the
+                // first index wins ties. That is exactly the old scan:
+                // first invalid slot if any, else the unique LRU entry.
+                u32 vi = 0;
+                u64 vkey = orfReg_[0] == kInvalidReg ? 0 : orfUse_[0];
+                for (u32 i = 1; i < cfg_.orfEntries; ++i) {
+                    u64 k = orfReg_[i] == kInvalidReg ? 0 : orfUse_[i];
+                    if (k < vkey) {
+                        vkey = k;
+                        vi = i;
+                    }
+                }
+                if (orfReg_[vi] != kInvalidReg) {
+                    // Evicted ORF value must persist in the MRF.
+                    ++counts_.mrfWrites;
+                }
+                orfReg_[vi] = lrfReg_;
+                orfUse_[vi] = ++useClock_;
+                ++counts_.orfWrites;
+            }
+        }
+
+        lrfReg_ = r;
+        ++counts_.lrfWrites;
+    }
 
     RfHierarchyConfig cfg_;
     u32 warpSlot_ = 0;
 
     RegId lrfReg_ = kInvalidReg;
 
-    struct OrfEntry
-    {
-        RegId reg = kInvalidReg;
-        u64 lastUse = 0;
-    };
-
-    std::array<OrfEntry, 8> orf_{}; // first cfg_.orfEntries used
+    /**
+     * ORF as two parallel arrays (registers, LRU stamps) so the
+     * per-operand membership test is one vector compare over the
+     * register lane and the hot loops carry no struct padding. Only
+     * the first cfg_.orfEntries slots are ever written; the rest stay
+     * kInvalidReg so fixed-size sweeps cannot mis-match.
+     */
+    std::array<RegId, 8> orfReg_{kInvalidReg, kInvalidReg, kInvalidReg,
+                                 kInvalidReg, kInvalidReg, kInvalidReg,
+                                 kInvalidReg, kInvalidReg};
+    std::array<u64, 8> orfUse_{};
     u64 useClock_ = 0;
 
     RfAccessCounts counts_;

@@ -1,36 +1,6 @@
 #include "sched/scoreboard.hh"
 
-#include "common/log.hh"
-
 namespace unimem {
-
-void
-Scoreboard::setPending(RegId r, Cycle readyAt, bool longLatency)
-{
-    if (r == kInvalidReg)
-        return;
-    if (r >= kMaxRegs)
-        panic("Scoreboard: register %u out of range", r);
-    Entry& e = regs_[r];
-    if (e.longLatency)
-        --longLatencyCount_; // WAW over a pending long op
-    e.readyAt = readyAt;
-    e.longLatency = longLatency;
-    if (longLatency)
-        ++longLatencyCount_;
-}
-
-void
-Scoreboard::clearPending(RegId r)
-{
-    if (r == kInvalidReg || r >= kMaxRegs)
-        return;
-    Entry& e = regs_[r];
-    if (e.longLatency) {
-        e.longLatency = false;
-        --longLatencyCount_;
-    }
-}
 
 Cycle
 Scoreboard::readyCycle(const WarpInstr& in) const
@@ -59,26 +29,6 @@ Scoreboard::dependsOnLongLatency(const WarpInstr& in) const
     if (in.hasDst() && in.dst < kMaxRegs && regs_[in.dst].longLatency)
         return true;
     return false;
-}
-
-Scoreboard::ReadyInfo
-Scoreboard::readyInfo(const WarpInstr& in) const
-{
-    ReadyInfo info{0, false};
-    for (u8 s = 0; s < in.numSrc; ++s) {
-        RegId r = in.src[s];
-        if (r == kInvalidReg || r >= kMaxRegs)
-            continue;
-        const Entry& e = regs_[r];
-        info.readyAt = std::max(info.readyAt, e.readyAt);
-        info.longLatency |= e.longLatency;
-    }
-    if (in.hasDst() && in.dst < kMaxRegs) {
-        const Entry& e = regs_[in.dst];
-        info.readyAt = std::max(info.readyAt, e.readyAt);
-        info.longLatency |= e.longLatency;
-    }
-    return info;
 }
 
 void

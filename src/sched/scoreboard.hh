@@ -10,9 +10,11 @@
 #ifndef UNIMEM_SCHED_SCOREBOARD_HH
 #define UNIMEM_SCHED_SCOREBOARD_HH
 
+#include <algorithm>
 #include <array>
 
 #include "arch/warp_instr.hh"
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace unimem {
@@ -24,11 +26,39 @@ class Scoreboard
     /** Maximum architectural registers per thread the model supports. */
     static constexpr u32 kMaxRegs = 256;
 
-    /** Mark @p r as produced at @p readyAt by a (long-latency?) op. */
-    void setPending(RegId r, Cycle readyAt, bool longLatency);
+    /**
+     * Mark @p r as produced at @p readyAt by a (long-latency?) op.
+     * In the header (like readyInfo) because it runs once per issued
+     * instruction with a destination.
+     */
+    void
+    setPending(RegId r, Cycle readyAt, bool longLatency)
+    {
+        if (r == kInvalidReg)
+            return;
+        if (r >= kMaxRegs)
+            panic("Scoreboard: register %u out of range", r);
+        Entry& e = regs_[r];
+        if (e.longLatency)
+            --longLatencyCount_; // WAW over a pending long op
+        e.readyAt = readyAt;
+        e.longLatency = longLatency;
+        if (longLatency)
+            ++longLatencyCount_;
+    }
 
     /** Producer of @p r completed (clears long-latency flag). */
-    void clearPending(RegId r);
+    void
+    clearPending(RegId r)
+    {
+        if (r == kInvalidReg || r >= kMaxRegs)
+            return;
+        Entry& e = regs_[r];
+        if (e.longLatency) {
+            e.longLatency = false;
+            --longLatencyCount_;
+        }
+    }
 
     /** Cycle at which instruction @p in could issue given dependences. */
     Cycle readyCycle(const WarpInstr& in) const;
@@ -43,7 +73,31 @@ class Scoreboard
         bool longLatency;
     };
 
-    ReadyInfo readyInfo(const WarpInstr& in) const;
+    /**
+     * In the header so the per-issue readiness refresh inlines it:
+     * the whole body is a handful of array reads and the call ran
+     * out-of-line once per issued instruction plus once per load
+     * wakeup.
+     */
+    ReadyInfo
+    readyInfo(const WarpInstr& in) const
+    {
+        ReadyInfo info{0, false};
+        for (u8 s = 0; s < in.numSrc; ++s) {
+            RegId r = in.src[s];
+            if (r == kInvalidReg || r >= kMaxRegs)
+                continue;
+            const Entry& e = regs_[r];
+            info.readyAt = std::max(info.readyAt, e.readyAt);
+            info.longLatency |= e.longLatency;
+        }
+        if (in.hasDst() && in.dst < kMaxRegs) {
+            const Entry& e = regs_[in.dst];
+            info.readyAt = std::max(info.readyAt, e.readyAt);
+            info.longLatency |= e.longLatency;
+        }
+        return info;
+    }
 
     /** True if any long-latency producer is outstanding for this warp. */
     bool anyLongLatencyPending() const { return longLatencyCount_ > 0; }

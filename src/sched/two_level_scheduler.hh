@@ -63,13 +63,19 @@ class TwoLevelScheduler
         if (active_.empty())
             return kNone;
         u32 n = static_cast<u32>(active_.size());
+        // rrNext_ can be out of range after the active list shrank;
+        // fold it once so the walk below needs only a compare-subtract
+        // per probe instead of an integer divide (this loop runs per
+        // scheduling decision — the hottest path in the simulator).
+        u32 idx = rrNext_ < n ? rrNext_ : rrNext_ % n;
         for (u32 i = 0; i < n; ++i) {
-            u32 idx = (rrNext_ + i) % n;
             u32 warp = active_[idx];
             if (ready(warp)) {
-                rrNext_ = (idx + 1) % n;
+                rrNext_ = idx + 1 == n ? 0 : idx + 1;
                 return warp;
             }
+            if (++idx == n)
+                idx = 0;
         }
         return kNone;
     }

@@ -1,6 +1,7 @@
 #include "sm/sm.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "arch/spill_injector.hh"
 #include "common/log.hh"
@@ -29,7 +30,10 @@ SmModel::SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
     if (num_warps == 0 || num_warps > kMaxWarpsPerSm)
         fatal("SmModel: %u resident warps out of range", num_warps);
 
-    warps_.resize(num_warps);
+    hotReady_.assign(num_warps, 0);
+    hotFlags_.assign(num_warps, 0);
+    hotGen_.assign(num_warps, 0);
+    cold_.resize(num_warps);
     ctas_.resize(cfg_.launch.ctas);
     for (u32 c = 0; c < cfg_.launch.ctas; ++c) {
         ctas_[c].warps.reserve(warps_per_cta);
@@ -38,9 +42,12 @@ SmModel::SmModel(const SmRunConfig& cfg, const KernelModel& kernel,
     }
     activeScratch_.reserve(cfg_.activeSetSize);
     coalesceScratch_.reserve(kWarpWidth);
-    checkList_.reserve(num_warps);
+    checkList_.reset(num_warps);
     activations_.reserve(num_warps);
     sched_.setActivationSink(&activations_);
+#ifndef NDEBUG
+    audit_ = std::getenv("UNIMEM_SOA_AUDIT") != nullptr;
+#endif
 }
 
 void
@@ -70,7 +77,7 @@ SmModel::launchCta(u32 ctaSlot)
 
     for (u32 i = 0; i < cta.warps.size(); ++i) {
         u32 slot = cta.warps[i];
-        WarpSlot& ws = warps_[slot];
+        WarpCold& wc = cold_[slot];
 
         WarpCtx ctx;
         ctx.ctaId = cta_id;
@@ -85,15 +92,16 @@ SmModel::launchCta(u32 ctaSlot)
             prog = std::make_unique<SpillInjector>(std::move(prog),
                                                    spill, warp_gid);
 
-        ws.stream.reset(std::move(prog));
-        ws.sb.reset();
-        ws.rf.reset(rf_cfg, slot);
-        ws.resident = true;
-        ws.atBarrier = false;
-        ws.ctaSlot = ctaSlot;
-        ++ws.gen;
-        ws.warpGlobalId = warp_gid;
-        ws.readyCacheValid = false;
+        wc.stream.reset(std::move(prog));
+        wc.sb.reset();
+        wc.rf.reset(rf_cfg, slot);
+        wc.ctaSlot = ctaSlot;
+        wc.warpGlobalId = warp_gid;
+        ++hotGen_[slot];
+        // Resident, not at a barrier, readiness cache invalid; a still
+        // pending dirty mark survives the relaunch (the ring entry is
+        // live, so the flag must stay in sync with it).
+        hotFlags_[slot] = (hotFlags_[slot] & kWfDirty) | kWfResident;
 
         sched_.addWarp(slot);
         ++residentWarps_;
@@ -104,21 +112,21 @@ SmModel::launchCta(u32 ctaSlot)
 void
 SmModel::retireWarp(u32 w)
 {
-    WarpSlot& ws = warps_[w];
-    stats_.rf.merge(ws.rf.counts());
+    WarpCold& wc = cold_[w];
+    stats_.rf.merge(wc.rf.counts());
     sched_.retire(w);
-    ws.resident = false;
-    ws.stream.release();
-    ++ws.gen; // invalidate in-flight load events
+    hotFlags_[w] &= ~kWfResident;
+    wc.stream.release();
+    ++hotGen_[w]; // invalidate in-flight load events
     --residentWarps_;
     scanMemoValid_ = false;
 
-    CtaSlot& cta = ctas_[ws.ctaSlot];
+    CtaSlot& cta = ctas_[wc.ctaSlot];
     if (--cta.warpsRemaining == 0) {
         cta.occupied = false;
         ++stats_.ctasExecuted;
         if (nextCta_ < kp_.gridCtas)
-            launchCta(ws.ctaSlot);
+            launchCta(wc.ctaSlot);
     }
 }
 
@@ -131,36 +139,48 @@ SmModel::drainDueEvents()
     do {
         LoadEvent ev = events_.top();
         events_.pop();
-        WarpSlot& ws = warps_[ev.warp];
-        if (ws.gen != ev.gen || !ws.resident)
+        if (hotGen_[ev.warp] != ev.gen ||
+            !(hotFlags_[ev.warp] & kWfResident))
             continue;
-        ws.sb.clearPending(ev.reg);
+        cold_[ev.warp].sb.clearPending(ev.reg);
         // clearPending can flip the head's long-latency dependence, so
         // recompute the cached readiness (eagerly: the eligibility test
         // below needs it anyway).
-        refreshReadyCache(ws);
-        if (ws.atBarrier || sched_.isActive(ev.warp))
+        refreshReadyCache(ev.warp);
+        u8 f = hotFlags_[ev.warp];
+        if ((f & kWfAtBarrier) || sched_.isActive(ev.warp))
             continue;
-        if (ws.cachedHeadNull || !ws.cachedDependsLL)
+        if ((f & kWfHeadNull) || !(f & kWfDependsLL))
             sched_.signalEligible(ev.warp);
     } while (!events_.empty() && events_.top().at <= now_);
 }
 
 void
-SmModel::refreshReadyCache(WarpSlot& ws)
+SmModel::refreshReadyCache(u32 w)
 {
-    const WarpInstr* in = ws.stream.peek();
+    WarpCold& wc = cold_[w];
+    u8 f = hotFlags_[w] & ~(kWfHeadNull | kWfDependsLL);
+    // Scan-key encoding: a null head and a long-latency dependence both
+    // map to kCycleNever. The head contributes to the idle-jump min
+    // only when neither holds (exactly the cases the old scan skipped),
+    // and the issue-side test `key <= now_` matches the old
+    // `!headNull && readyAt <= now_` because a long-latency dependence
+    // always has readyAt > now_ wherever readiness is consulted: due
+    // load events are drained (clearPending + refresh) at the top of
+    // every advance iteration, before any pickIssue.
+    Cycle key = kCycleNever;
+    const WarpInstr* in = wc.stream.peek();
     if (in == nullptr) {
-        ws.cachedHeadNull = true;
-        ws.cachedDependsLL = false;
-        ws.cachedReadyAt = 0;
+        f |= kWfHeadNull;
     } else {
-        Scoreboard::ReadyInfo info = ws.sb.readyInfo(*in);
-        ws.cachedHeadNull = false;
-        ws.cachedDependsLL = info.longLatency;
-        ws.cachedReadyAt = info.readyAt;
+        Scoreboard::ReadyInfo info = wc.sb.readyInfo(*in);
+        if (info.longLatency)
+            f |= kWfDependsLL;
+        else
+            key = info.readyAt;
     }
-    ws.readyCacheValid = true;
+    hotReady_[w] = key;
+    hotFlags_[w] = f | kWfCacheValid;
 }
 
 void
@@ -188,44 +208,51 @@ SmModel::housekeeping()
     // needs no ordering, so skip the active-list walk.
     activeScratch_.clear();
     if (checkList_.size() == 1) {
-        u32 w = checkList_[0];
-        warps_[w].dirty = false;
+        u32 w = checkList_.at(0);
+        hotFlags_[w] &= ~kWfDirty;
         checkList_.clear();
         if (sched_.isActive(w))
             activeScratch_.push_back(w);
     } else {
         for (u32 w : sched_.activeWarps())
-            if (warps_[w].dirty)
+            if (hotFlags_[w] & kWfDirty)
                 activeScratch_.push_back(w);
-        for (u32 w : checkList_)
-            warps_[w].dirty = false;
+        for (u32 i = 0; i < checkList_.size(); ++i)
+            hotFlags_[checkList_.at(i)] &= ~kWfDirty;
         checkList_.clear();
     }
 
     for (u32 w : activeScratch_) {
-        WarpSlot& ws = warps_[w];
-        if (!ws.readyCacheValid)
-            refreshReadyCache(ws);
-        if (ws.cachedHeadNull) {
+        u8 f = hotFlags_[w];
+        if (!(f & kWfCacheValid)) {
+            refreshReadyCache(w);
+            f = hotFlags_[w];
+        }
+        if (f & kWfHeadNull) {
             retireWarp(w);
-        } else if (ws.cachedDependsLL) {
+        } else if (f & kWfDependsLL) {
             // All live values must reside in the MRF while inactive.
-            ws.rf.flushToMrf();
+            cold_[w].rf.flushToMrf();
             sched_.deschedule(w);
             scanMemoValid_ = false;
         }
     }
+
+#ifndef NDEBUG
+    if (audit_)
+        auditHotState();
+#endif
 }
 
 bool
 SmModel::warpReady(u32 w)
 {
-    WarpSlot& ws = warps_[w];
-    if (!ws.resident || ws.atBarrier)
+    u8 f = hotFlags_[w];
+    if ((f & (kWfResident | kWfAtBarrier)) != kWfResident)
         return false;
-    if (!ws.readyCacheValid)
-        refreshReadyCache(ws);
-    return !ws.cachedHeadNull && ws.cachedReadyAt <= now_;
+    if (!(f & kWfCacheValid))
+        refreshReadyCache(w);
+    return hotReady_[w] <= now_;
 }
 
 void
@@ -233,9 +260,10 @@ SmModel::releaseBarrier(CtaSlot& cta)
 {
     cta.barrierWaiting = 0;
     for (u32 w : cta.warps) {
-        WarpSlot& ws = warps_[w];
-        if (ws.resident && ws.atBarrier) {
-            ws.atBarrier = false;
+        u8& f = hotFlags_[w];
+        if ((f & (kWfResident | kWfAtBarrier)) ==
+            (kWfResident | kWfAtBarrier)) {
+            f &= ~kWfAtBarrier;
             sched_.signalEligible(w);
         }
     }
@@ -244,13 +272,13 @@ SmModel::releaseBarrier(CtaSlot& cta)
 void
 SmModel::execBarrier(u32 w)
 {
-    WarpSlot& ws = warps_[w];
-    CtaSlot& cta = ctas_[ws.ctaSlot];
+    WarpCold& wc = cold_[w];
+    CtaSlot& cta = ctas_[wc.ctaSlot];
     ++stats_.barriers;
     scanMemoValid_ = false;
 
-    ws.atBarrier = true;
-    ws.rf.flushToMrf();
+    hotFlags_[w] |= kWfAtBarrier;
+    wc.rf.flushToMrf();
     sched_.deschedule(w);
     if (++cta.barrierWaiting == cta.warpsRemaining)
         releaseBarrier(cta);
@@ -259,11 +287,11 @@ SmModel::execBarrier(u32 w)
 void
 SmModel::execCompute(u32 w, const WarpInstr& in, Cycle issueAt)
 {
-    WarpSlot& ws = warps_[w];
+    WarpCold& wc = cold_[w];
     u32 latency = in.op == Opcode::Sfu ? cfg_.lat.sfu : cfg_.lat.alu;
     if (in.hasDst()) {
         Cycle done = issueAt + latency;
-        ws.sb.setPending(in.dst, done, false);
+        wc.sb.setPending(in.dst, done, false);
         lastCompletion_ = std::max(lastCompletion_, done);
     }
 }
@@ -272,7 +300,7 @@ void
 SmModel::execShared(u32 w, const WarpInstr& in, Cycle issueAt,
                     const ConflictOutcome& co)
 {
-    WarpSlot& ws = warps_[w];
+    WarpCold& wc = cold_[w];
     u64 bytes = cfg_.design == DesignKind::Unified
                     ? static_cast<u64>(co.distinctChunks) * kUnifiedBankWidth
                     : static_cast<u64>(co.distinctWords) *
@@ -281,7 +309,7 @@ SmModel::execShared(u32 w, const WarpInstr& in, Cycle issueAt,
         stats_.sharedReadBytes += bytes;
         Cycle done = issueAt + cfg_.lat.sharedMem;
         if (in.hasDst()) {
-            ws.sb.setPending(in.dst, done, false);
+            wc.sb.setPending(in.dst, done, false);
             lastCompletion_ = std::max(lastCompletion_, done);
         }
     } else {
@@ -294,7 +322,7 @@ SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
                     FootprintCache<ConflictOutcome>::MemEntry* fp)
 {
     using Fp = FootprintCache<ConflictOutcome>;
-    WarpSlot& ws = warps_[w];
+    WarpCold& wc = cold_[w];
     if (fp != nullptr && fp->numLines <= Fp::kMaxInlineLines) {
         // Replay the coalesced-line footprint decoded for an earlier
         // dynamic instance of this exact (addresses included) key.
@@ -334,7 +362,7 @@ SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
     // as on the immediate path — only DRAM *timing* is deferred.
     u32 group = kNoGroup;
     if (queue_ != nullptr && is_load && in.hasDst())
-        group = queue_->beginGroup(w, ws.gen, in.dst, 0);
+        group = queue_->beginGroup(w, hotGen_[w], in.dst, 0);
 
     for (const CoalescedAccess& acc : lines) {
         tag_time += 1; // single-ported tag array
@@ -425,11 +453,11 @@ SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
             // (descheduling sees the same long-latency dependence the
             // real value would create) and let deliverLoad() install
             // the replayed completion plus the wakeup event.
-            ws.sb.setPending(in.dst, queue_->lastPlaceholder(), true);
+            wc.sb.setPending(in.dst, queue_->lastPlaceholder(), true);
         } else {
-            ws.sb.setPending(in.dst, completion, true);
+            wc.sb.setPending(in.dst, completion, true);
             lastCompletion_ = std::max(lastCompletion_, completion);
-            events_.push(LoadEvent{completion, w, ws.gen, in.dst});
+            events_.push(LoadEvent{completion, w, hotGen_[w], in.dst});
         }
     }
 }
@@ -437,14 +465,14 @@ SmModel::execGlobal(u32 w, const WarpInstr& in, Cycle issueAt,
 void
 SmModel::execTexture(u32 w, const WarpInstr& in, Cycle issueAt)
 {
-    WarpSlot& ws = warps_[w];
+    WarpCold& wc = cold_[w];
     if (queue_ != nullptr) {
-        u32 group = queue_->beginGroup(w, ws.gen, in.dst,
+        u32 group = queue_->beginGroup(w, hotGen_[w], in.dst,
                                        cfg_.lat.texture / 4);
         Cycle base = tex_.accessDeferred(issueAt, in, *queue_, group);
         if (queue_->endGroup(group, base, in.hasDst(), true)) {
             if (in.hasDst())
-                ws.sb.setPending(in.dst, queue_->lastPlaceholder(),
+                wc.sb.setPending(in.dst, queue_->lastPlaceholder(),
                                  true);
             return;
         }
@@ -452,16 +480,16 @@ SmModel::execTexture(u32 w, const WarpInstr& in, Cycle issueAt)
         // exact completion, no weave needed.
         lastCompletion_ = std::max(lastCompletion_, base);
         if (in.hasDst()) {
-            ws.sb.setPending(in.dst, base, true);
-            events_.push(LoadEvent{base, w, ws.gen, in.dst});
+            wc.sb.setPending(in.dst, base, true);
+            events_.push(LoadEvent{base, w, hotGen_[w], in.dst});
         }
         return;
     }
     Cycle done = tex_.access(issueAt, in);
     lastCompletion_ = std::max(lastCompletion_, done);
     if (in.hasDst()) {
-        ws.sb.setPending(in.dst, done, true);
-        events_.push(LoadEvent{done, w, ws.gen, in.dst});
+        wc.sb.setPending(in.dst, done, true);
+        events_.push(LoadEvent{done, w, hotGen_[w], in.dst});
     }
 }
 
@@ -477,11 +505,11 @@ SmModel::deliverLoad(u32 warp, u32 gen, RegId reg, Cycle completion,
     // retired warp — it is gen-filtered at drain time but participates
     // in idle-jump targeting until then.
     events_.push(LoadEvent{completion, warp, gen, reg});
-    WarpSlot& ws = warps_[warp];
-    if (ws.gen == gen && ws.resident &&
-        ws.sb.pendingAt(reg) == placeholder) {
-        ws.sb.setPending(reg, completion, true);
-        ws.readyCacheValid = false;
+    WarpCold& wc = cold_[warp];
+    if (hotGen_[warp] == gen && (hotFlags_[warp] & kWfResident) &&
+        wc.sb.pendingAt(reg) == placeholder) {
+        wc.sb.setPending(reg, completion, true);
+        hotFlags_[warp] &= ~kWfCacheValid;
     }
     scanMemoValid_ = false;
 }
@@ -489,19 +517,19 @@ SmModel::deliverLoad(u32 warp, u32 gen, RegId reg, Cycle completion,
 void
 SmModel::issue(u32 w)
 {
-    WarpSlot& ws = warps_[w];
+    WarpCold& wc = cold_[w];
     // Reference, not a copy: pop() only bumps the chunk cursor, and the
     // buffer cannot refill before the exhausted() check at the bottom
     // (nothing below peeks this warp's stream), so `in` stays valid for
     // the whole function.
-    const WarpInstr& in = *ws.stream.peek();
-    ws.stream.pop();
+    const WarpInstr& in = *wc.stream.peek();
+    wc.stream.pop();
     // New head, and the exec handlers below touch the scoreboard.
-    ws.readyCacheValid = false;
+    hotFlags_[w] &= ~kWfCacheValid;
     scanMemoValid_ = false;
 
     if (issueTrace_ != nullptr)
-        issueTrace_->push_back({now_, w, ws.warpGlobalId, in.op});
+        issueTrace_->push_back({now_, w, wc.warpGlobalId, in.op});
 
     ++stats_.warpInstrs;
     stats_.threadInstrs += in.numActive();
@@ -519,7 +547,7 @@ SmModel::issue(u32 w)
     // descheduled before consuming them).
     u8 mrf_banks[3];
     bool ll_load = isLoad(in.op) && isLongLatency(in.op);
-    u32 num_mrf = ws.rf.accessOperands(in, ll_load, mrf_banks);
+    u32 num_mrf = wc.rf.accessOperands(in, ll_load, mrf_banks);
 
     // Conflict evaluation through the footprint cache: the outcome is
     // a pure function of the key, so a verified hit replays the exact
@@ -541,18 +569,20 @@ SmModel::issue(u32 w)
         }
     } else {
         u8 sig = mrfSignature(mrf_banks, num_mrf);
-        fp = footprints_.findMem(in, sig);
-        if (fp != nullptr) {
+        FootprintCache<ConflictOutcome>::MemProbe probe =
+            footprints_.probeMem(in, sig);
+        fp = probe.entry;
+        if (probe.hit) {
             co = fp->outcome;
         } else {
             co = conflicts_.evaluate(in, mrf_banks, num_mrf);
-            fp = &footprints_.insertMem(in, sig);
+            footprints_.claimMem(*fp, in, sig);
             fp->outcome = co;
         }
     }
     stats_.conflictHist.record(co.maxPerBank);
     if (sharedTrace_ != nullptr && isSharedSpace(in.op))
-        sharedTrace_->push_back({ws.warpGlobalId, co.dataMaxPerBank,
+        sharedTrace_->push_back({wc.warpGlobalId, co.dataMaxPerBank,
                                  co.distinctWords, co.distinctChunks});
     u32 reg_pen = cfg_.conflictPenalties ? co.regPenalty : 0;
     u32 mem_pen =
@@ -593,10 +623,21 @@ SmModel::issue(u32 w)
         break; // handled above
     }
 
-    if (ws.stream.exhausted())
+    if (wc.stream.exhausted()) {
         retireWarp(w);
-    else
-        markDirty(w);
+    } else {
+        // Refresh eagerly instead of queueing for housekeeping
+        // unconditionally: every event pushed above completes strictly
+        // after now_, and drainDueEvents only touches its own event's
+        // warp, so the scoreboard state housekeeping would have seen
+        // next iteration is exactly the state right here. Housekeeping
+        // acts only on a null or long-latency-blocked head (retire /
+        // deschedule), so only those need the ring trip; the refreshed
+        // cache is reused as-is by the next pickIssue either way.
+        refreshReadyCache(w);
+        if (hotFlags_[w] & (kWfHeadNull | kWfDependsLL))
+            markDirty(w);
+    }
 }
 
 Cycle
@@ -614,17 +655,20 @@ SmModel::nextInterestingCycle()
     // it would itself have been the memoized minimum, contradicting
     // scanMemo_ > now_.
     if (!scanMemoValid_ || scanMemo_ <= now_) {
+        // The scan reads only the flat hotReady_/hotFlags_ arrays: a
+        // null head or long-latency dependence is encoded as
+        // kCycleNever, which can never win the min (m starts there),
+        // so no per-warp branch on those states is needed.
         Cycle m = kCycleNever;
         for (u32 w : sched_.activeWarps()) {
-            WarpSlot& ws = warps_[w];
-            if (!ws.resident || ws.atBarrier)
+            u8 f = hotFlags_[w];
+            if ((f & (kWfResident | kWfAtBarrier)) != kWfResident)
                 continue;
-            if (!ws.readyCacheValid)
-                refreshReadyCache(ws);
-            if (ws.cachedHeadNull || ws.cachedDependsLL)
-                continue;
-            if (ws.cachedReadyAt > now_)
-                m = std::min(m, ws.cachedReadyAt);
+            if (!(f & kWfCacheValid))
+                refreshReadyCache(w);
+            Cycle key = hotReady_[w];
+            if (key > now_)
+                m = std::min(m, key);
         }
         scanMemo_ = m;
         scanMemoValid_ = true;
@@ -670,12 +714,17 @@ SmModel::advance(Cycle limit)
         if (now_ != guardLastNow_) {
             guardLastNow_ = now_;
             guardNoProgress_ = 0;
+        } else {
+            // Count only repeat iterations at one clock value, and
+            // track the peak on that slow path alone — the common
+            // advancing iteration pays a single compare.
+            if (++guardNoProgress_ > guard_limit)
+                panic("SmModel: no forward progress at cycle %llu "
+                      "(livelock?)",
+                      static_cast<unsigned long long>(now_));
+            if (guardNoProgress_ > guardPeak_)
+                guardPeak_ = guardNoProgress_;
         }
-        if (++guardNoProgress_ > guard_limit)
-            panic("SmModel: no forward progress at cycle %llu "
-                  "(livelock?)",
-                  static_cast<unsigned long long>(now_));
-        guardPeak_ = std::max(guardPeak_, guardNoProgress_);
 
         processEvents();
         if (!activations_.empty() || !checkList_.empty())
@@ -717,9 +766,78 @@ SmModel::advance(Cycle limit)
             continue;
         }
         issue(w);
+
+        // Fused port-busy skip: after a penalty-free issue that queued
+        // no warp for housekeeping, the next iteration could only
+        // advance the clock one cycle — every event issue() pushed
+        // completes strictly after now_, so processEvents would be a
+        // no-op at this clock value. Replicating that iteration's
+        // fence arithmetic here (stallBound may have moved if issue()
+        // enqueued DRAM work) saves a full round of loop checks per
+        // issued instruction.
+        if (residentWarps_ > 0 && issueFreeAt_ == now_ + 1 &&
+            activations_.empty() && checkList_.empty()) {
+            const Cycle f =
+                queue_ != nullptr ? queue_->stallBound() : kCycleNever;
+            if (now_ >= f)
+                break;
+            now_ = std::min(now_ + 1, f);
+        }
     }
     return now_;
 }
+
+#ifndef NDEBUG
+void
+SmModel::auditHotState()
+{
+    u32 resident = 0;
+    u32 dirty = 0;
+    for (u32 w = 0; w < cold_.size(); ++w) {
+        u8 f = hotFlags_[w];
+        if (f & kWfResident)
+            ++resident;
+        if (f & kWfDirty)
+            ++dirty;
+        if ((f & (kWfResident | kWfCacheValid)) !=
+            (kWfResident | kWfCacheValid))
+            continue;
+        // A valid cache means refreshReadyCache already peeked this
+        // head, so peek() here returns the buffered instruction
+        // without side effects.
+        const WarpInstr* in = cold_[w].stream.peek();
+        bool head_null = in == nullptr;
+        bool dep_ll = false;
+        Cycle key = kCycleNever;
+        if (!head_null) {
+            Scoreboard::ReadyInfo info = cold_[w].sb.readyInfo(*in);
+            dep_ll = info.longLatency;
+            if (!dep_ll)
+                key = info.readyAt;
+        }
+        if (head_null != ((f & kWfHeadNull) != 0) ||
+            dep_ll != ((f & kWfDependsLL) != 0) || key != hotReady_[w])
+            panic("SoA audit: warp %u hot state stale (flags=%u "
+                  "key=%llu, recomputed headNull=%d dependsLL=%d "
+                  "key=%llu)",
+                  w, static_cast<unsigned>(f),
+                  static_cast<unsigned long long>(hotReady_[w]),
+                  static_cast<int>(head_null), static_cast<int>(dep_ll),
+                  static_cast<unsigned long long>(key));
+    }
+    if (resident != residentWarps_)
+        panic("SoA audit: %u resident flags vs residentWarps_=%u",
+              resident, residentWarps_);
+    if (dirty != checkList_.size())
+        panic("SoA audit: %u dirty flags vs %u queued housekeeping "
+              "entries",
+              dirty, checkList_.size());
+    for (u32 i = 0; i < checkList_.size(); ++i)
+        if (!(hotFlags_[checkList_.at(i)] & kWfDirty))
+            panic("SoA audit: queued warp %u not marked dirty",
+                  checkList_.at(i));
+}
+#endif
 
 const SmStats&
 SmModel::finalize()
@@ -729,6 +847,10 @@ SmModel::finalize()
     if (finalized_)
         return stats_;
     finalized_ = true;
+#ifndef NDEBUG
+    if (audit_)
+        auditHotState();
+#endif
 
     // With a private DRAM its drain time belongs to this SM; in chip
     // mode the residual drain (and all DRAM statistics) live at the

@@ -187,35 +187,97 @@ class SmModel
 
   private:
     /**
-     * One warp's machine state, held by value so the stream's chunk
-     * buffer and the register-file bookkeeping are pooled across CTA
-     * relaunches (reset, not reallocated, in launchCta).
+     * Per-warp *cold* state: everything the scheduler inner loop does
+     * not touch while deciding who issues next. Held by value so the
+     * stream's chunk buffer and the register-file bookkeeping are
+     * pooled across CTA relaunches (reset, not reallocated, in
+     * launchCta). The Scoreboard alone is ~4 KB, which is exactly why
+     * the hot per-warp fields live in the parallel arrays below
+     * instead of here (DESIGN.md Section 12): with them embedded, two
+     * consecutive warps' ready cycles were ~5 KB apart and every
+     * scheduler touch was a guaranteed L1 miss.
      */
-    struct WarpSlot
+    struct WarpCold
     {
         InstrStream stream;
         Scoreboard sb;
         WarpRegFile rf;
-        bool resident = false;
-        bool atBarrier = false;
         u32 ctaSlot = 0;
-        u32 gen = 0;
         u64 warpGlobalId = 0;
+    };
+
+    /**
+     * Bits of hotFlags_[w] — the warp's entire scheduler-visible
+     * boolean state in one byte, so the whole SM's flag set (≤64
+     * warps) fits in a single cache line.
+     */
+    enum : u8 {
+        kWfResident = 1u << 0,
+        kWfAtBarrier = 1u << 1,
 
         /**
-         * Cached readiness of the stream head (DESIGN.md Section 9).
-         * Valid only while readyCacheValid: the head and its scoreboard
+         * Cached readiness of the stream head (DESIGN.md Section 9),
+         * valid only while kWfCacheValid: the head and its scoreboard
          * entries can change only through this warp's own issue (pop +
          * setPending), a load completion (clearPending), or a CTA
-         * relaunch, and each of those sites clears the flag.
+         * relaunch, and each of those sites clears the flag. HeadNull
+         * and DependsLL mirror the refresh outcome for housekeeping
+         * (retire vs. deschedule) and wakeup-eligibility decisions.
          */
-        Cycle cachedReadyAt = 0;
-        bool cachedHeadNull = false;
-        bool cachedDependsLL = false;
-        bool readyCacheValid = false;
+        kWfHeadNull = 1u << 2,
+        kWfDependsLL = 1u << 3,
+        kWfCacheValid = 1u << 4,
 
         /** Queued in checkList_ for the next housekeeping pass? */
-        bool dirty = false;
+        kWfDirty = 1u << 5,
+    };
+
+    /**
+     * Fixed-capacity ring of warp indices awaiting housekeeping.
+     * Capacity is the warp count rounded up to a power of two;
+     * entries are deduplicated by kWfDirty before pushing, so the
+     * ring can never overflow. A ring rather than a vector so the
+     * housekeeping queue owns exactly one small allocation for the
+     * whole run and drains without touching capacity bookkeeping.
+     */
+    class IndexRing
+    {
+      public:
+        void
+        reset(u32 minCapacity)
+        {
+            u32 cap = 1;
+            while (cap < minCapacity)
+                cap <<= 1;
+            buf_.assign(cap, 0);
+            mask_ = cap - 1;
+            head_ = 0;
+            size_ = 0;
+        }
+
+        void
+        push(u32 v)
+        {
+            buf_[(head_ + size_) & mask_] = v;
+            ++size_;
+        }
+
+        u32 size() const { return size_; }
+        bool empty() const { return size_ == 0; }
+        u32 at(u32 i) const { return buf_[(head_ + i) & mask_]; }
+
+        void
+        clear()
+        {
+            head_ = (head_ + size_) & mask_;
+            size_ = 0;
+        }
+
+      private:
+        std::vector<u32> buf_;
+        u32 mask_ = 0;
+        u32 head_ = 0;
+        u32 size_ = 0;
     };
 
     struct CtaSlot
@@ -275,17 +337,16 @@ class SmModel
     void releaseBarrier(CtaSlot& cta);
     Cycle nextInterestingCycle();
 
-    /** Recompute a warp's cached head readiness from its stream/scoreboard. */
-    void refreshReadyCache(WarpSlot& ws);
+    /** Recompute warp @p w's hot readiness from its stream/scoreboard. */
+    void refreshReadyCache(u32 w);
 
     /** Queue @p w for the next housekeeping pass (deduplicated). */
     void
     markDirty(u32 w)
     {
-        WarpSlot& ws = warps_[w];
-        if (!ws.dirty) {
-            ws.dirty = true;
-            checkList_.push_back(w);
+        if (!(hotFlags_[w] & kWfDirty)) {
+            hotFlags_[w] |= kWfDirty;
+            checkList_.push(w);
         }
     }
 
@@ -313,7 +374,22 @@ class SmModel
     DramRequestQueue* queue_;
     TexUnit tex_;
 
-    std::vector<WarpSlot> warps_;
+    /**
+     * Struct-of-arrays hot state, indexed by warp slot (DESIGN.md
+     * Section 12). hotReady_[w] is the *scan key*: the cached ready
+     * cycle of the head, or kCycleNever when the head is null or
+     * depends on a pending long-latency load. Both the issue-side
+     * readiness test and the idle-jump scan reduce to comparing this
+     * one contiguous Cycle array against now_; at the maximum 64
+     * warps the keys span four cache lines and the flag bytes one.
+     */
+    std::vector<Cycle> hotReady_;
+    std::vector<u8> hotFlags_;
+
+    /** Warp instance generation — filters stale in-flight events. */
+    std::vector<u32> hotGen_;
+
+    std::vector<WarpCold> cold_;
     std::vector<CtaSlot> ctas_;
 
     std::priority_queue<LoadEvent, std::vector<LoadEvent>,
@@ -352,7 +428,7 @@ class SmModel
     bool scanMemoValid_ = false;
 
     /** Warps needing a housekeeping look (just issued or activated). */
-    std::vector<u32> checkList_;
+    IndexRing checkList_;
 
     /** Activation sink the scheduler appends to (drained each pass). */
     std::vector<u32> activations_;
@@ -365,6 +441,19 @@ class SmModel
     std::vector<SharedConflictRecord>* sharedTrace_ = nullptr;
 
     ownership::Actor deliveryOwner_ = ownership::kNoActor;
+
+#ifndef NDEBUG
+    /**
+     * UNIMEM_SOA_AUDIT=1 (Debug builds): after every housekeeping
+     * pass and at finalize, recompute each warp's hot entries from
+     * its cold stream/scoreboard state and panic on any divergence —
+     * a stale readiness cache, a dropped dirty mark, or a resident
+     * count drift. Reads only already-buffered stream heads, so it
+     * cannot perturb the simulation it is checking.
+     */
+    bool audit_ = false;
+    void auditHotState();
+#endif
 
     SmStats stats_;
 };

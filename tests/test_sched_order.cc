@@ -38,13 +38,20 @@ struct TracePoint
     const char* kernel;
     DesignKind design;
     double scale;
+
+    /** Two-level active set size (default 8; small values churn the
+        deschedule/activation housekeeping ring far harder). */
+    u32 activeSet = 8;
 };
 
 /**
  * Three workload shapes that exercise distinct scheduler paths:
  * dgemm (barrier + shared-memory heavy, register limited), bfs
  * (divergent, cache limited, long-latency deschedules), needle
- * (shared limited with barrier waves).
+ * (shared limited with barrier waves). The tiny-active-set points
+ * force constant deschedule/promote traffic, so the housekeeping
+ * ring processes multi-entry batches (not just the single-warp fast
+ * path) on nearly every pass.
  */
 const TracePoint kPoints[] = {
     {"dgemm", DesignKind::Partitioned, 0.05},
@@ -53,6 +60,9 @@ const TracePoint kPoints[] = {
     {"bfs", DesignKind::Unified, 0.05},
     {"needle", DesignKind::Partitioned, 0.05},
     {"needle", DesignKind::Unified, 0.05},
+    {"dgemm", DesignKind::Partitioned, 0.05, 2},
+    {"bfs", DesignKind::Unified, 0.05, 2},
+    {"needle", DesignKind::Partitioned, 0.05, 4},
 };
 
 std::string
@@ -70,6 +80,7 @@ traceOf(const TracePoint& pt)
         createBenchmark(pt.kernel, pt.scale);
     RunSpec spec;
     spec.design = pt.design;
+    spec.activeSetSize = pt.activeSet;
     AllocationDecision alloc =
         resolveAllocation(kernel->params(), spec);
     EXPECT_TRUE(alloc.launch.feasible);
@@ -131,8 +142,8 @@ fingerprint(const TracePoint& pt,
     constexpr size_t kEdge = 4;
     std::ostringstream os;
     os << pt.kernel << ' ' << designName(pt.design)
-       << " issues=" << trace.size() << " hash=" << std::hex
-       << fnv1a(trace) << std::dec;
+       << " as=" << pt.activeSet << " issues=" << trace.size()
+       << " hash=" << std::hex << fnv1a(trace) << std::dec;
     os << " head=";
     for (size_t i = 0; i < std::min(kEdge, trace.size()); ++i)
         os << (i != 0 ? "," : "") << recordStr(trace[i]);
